@@ -1,0 +1,82 @@
+// Command lcsim regenerates the paper's figures on the simulated
+// machine.
+//
+// Usage:
+//
+//	lcsim -list
+//	lcsim -fig fig01 [-contexts 64] [-window 100ms] [-seed 42]
+//	lcsim -all -quick
+//
+// Output is a text table per figure: the x column followed by one column
+// per series, plus notes summarizing derived statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "experiment id (fig01..fig12, ablation-mcs, ablation-control)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		quick    = flag.Bool("quick", false, "scaled-down configuration (16 contexts, short windows)")
+		contexts = flag.Int("contexts", 0, "hardware contexts (default 64, paper scale)")
+		window   = flag.Duration("window", 0, "measurement window per point (default 100ms)")
+		warmup   = flag.Duration("warmup", 0, "warmup before measuring (default 30ms)")
+		seed     = flag.Uint64("seed", 0, "simulation seed (default 42)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *contexts != 0 {
+		cfg.Contexts = *contexts
+	}
+	if *window != 0 {
+		cfg.Window = *window
+	}
+	if *warmup != 0 {
+		cfg.Warmup = *warmup
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "lcsim: need -fig <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		f, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(f.Table())
+		fmt.Printf("# wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

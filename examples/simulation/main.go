@@ -1,0 +1,56 @@
+// Simulation example: build a 32-context machine, run the single-lock
+// microbenchmark at 150% load under TP-MCS and under load control, and
+// print the throughput and CPU breakdown of each — a miniature of the
+// paper's Figure 9/3 methodology.
+//
+// Run with:
+//
+//	go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/workload"
+)
+
+func main() {
+	const contexts = 32
+	clients := contexts + contexts/2 // 150% load
+	fmt.Printf("simulated machine: %d contexts, %d client threads (150%% load)\n\n",
+		contexts, clients)
+
+	run := func(name string, useLC bool) {
+		w := workload.NewWorld(42, contexts)
+		var f locks.Factory = locks.NewTPMCS
+		var ctl *core.Controller
+		if useLC {
+			ctl = core.NewController(w.P, core.Options{})
+			ctl.Start()
+			f = core.Factory(ctl)
+		}
+		b := workload.NewMicro(w, f)
+		b.Delay = 8 * time.Microsecond // heavy contention
+		r := workload.Measure(w, b, name, clients, 30*time.Millisecond, 100*time.Millisecond)
+		a := w.P.Acct()
+		total := float64(contexts) * float64(w.K.Now())
+		fmt.Printf("%-14s %9.0f acquires/s   work %4.1f%%  contention-spin %4.1f%%  inversion-spin %4.1f%%\n",
+			name, r.Throughput,
+			100*float64(a.Work)/total,
+			100*float64(a.SpinContention)/total,
+			100*float64(a.SpinPrioInv)/total)
+		if ctl != nil {
+			fmt.Printf("%14s controller: %d updates, %d slot claims, %d controller wakes\n",
+				"", ctl.Updates, ctl.Buffer.Claims, ctl.Buffer.ControllerWakes)
+		}
+	}
+
+	run("tp-mcs", false)
+	run("load-control", true)
+
+	fmt.Println("\nwithout load control, preempted holders leave spinners burning CPU")
+	fmt.Println("(inversion); load control puts exactly the excess threads to sleep.")
+}

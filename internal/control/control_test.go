@@ -1,0 +1,193 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowPassConverges(t *testing.T) {
+	f := NewLowPass(0.3)
+	var y float64
+	for i := 0; i < 100; i++ {
+		y = f.Update(10)
+	}
+	if math.Abs(y-10) > 1e-9 {
+		t.Fatalf("did not converge: %v", y)
+	}
+}
+
+func TestLowPassFirstSampleInitializes(t *testing.T) {
+	f := NewLowPass(0.1)
+	if got := f.Update(42); got != 42 {
+		t.Fatalf("first sample = %v, want 42", got)
+	}
+}
+
+func TestLowPassSmoothsStep(t *testing.T) {
+	f := NewLowPass(0.5)
+	f.Update(0)
+	y1 := f.Update(10)
+	if y1 != 5 {
+		t.Fatalf("after one step = %v, want 5", y1)
+	}
+	y2 := f.Update(10)
+	if y2 != 7.5 {
+		t.Fatalf("after two steps = %v, want 7.5", y2)
+	}
+}
+
+func TestLowPassReducesVariance(t *testing.T) {
+	f := NewLowPass(0.1)
+	// Alternating noise around 5.
+	varRaw, varFilt := 0.0, 0.0
+	f.Update(5)
+	for i := 0; i < 1000; i++ {
+		x := 5.0
+		if i%2 == 0 {
+			x = 8
+		} else {
+			x = 2
+		}
+		y := f.Update(x)
+		varRaw += (x - 5) * (x - 5)
+		varFilt += (y - 5) * (y - 5)
+	}
+	if varFilt > varRaw/10 {
+		t.Fatalf("filter did not reduce variance: %v vs %v", varFilt, varRaw)
+	}
+}
+
+func TestLowPassBadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v did not panic", a)
+				}
+			}()
+			NewLowPass(a)
+		}()
+	}
+}
+
+func TestPIDProportionalOnly(t *testing.T) {
+	c := NewPID(2, 0, 0)
+	if got := c.Update(3, 1); got != 6 {
+		t.Fatalf("P-only output = %v, want 6", got)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	c := NewPID(0, 1, 0)
+	c.Update(1, 1)
+	c.Update(1, 1)
+	if got := c.Update(1, 1); got != 3 {
+		t.Fatalf("I output = %v, want 3", got)
+	}
+}
+
+func TestPIDDerivativeRespondsToChange(t *testing.T) {
+	c := NewPID(0, 0, 1)
+	c.Update(1, 1)
+	if got := c.Update(4, 1); got != 3 {
+		t.Fatalf("D output = %v, want 3", got)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	c := NewPID(0, 1, 0)
+	c.IntegralClamp = 5
+	for i := 0; i < 100; i++ {
+		c.Update(10, 1)
+	}
+	if got := c.Update(0, 1); got > 5+1e-9 {
+		t.Fatalf("integral wound up past clamp: %v", got)
+	}
+}
+
+func TestPIDClosedLoopConverges(t *testing.T) {
+	// Plant: x' = u. Setpoint 10. A PI controller must settle near the
+	// setpoint without blowing up.
+	c := NewPID(0.5, 0.1, 0.05)
+	x := 0.0
+	for i := 0; i < 500; i++ {
+		u := c.Update(10-x, 1)
+		x += u * 0.5
+	}
+	if math.Abs(x-10) > 0.5 {
+		t.Fatalf("closed loop settled at %v, want ~10", x)
+	}
+}
+
+func TestKalmanConvergesToConstant(t *testing.T) {
+	f := NewKalman1D(0.001, 1)
+	var y float64
+	for i := 0; i < 500; i++ {
+		y = f.Update(7)
+	}
+	if math.Abs(y-7) > 1e-6 {
+		t.Fatalf("Kalman did not converge: %v", y)
+	}
+}
+
+func TestKalmanTracksStep(t *testing.T) {
+	f := NewKalman1D(0.1, 1)
+	for i := 0; i < 50; i++ {
+		f.Update(0)
+	}
+	for i := 0; i < 50; i++ {
+		f.Update(10)
+	}
+	if math.Abs(f.Value()-10) > 1 {
+		t.Fatalf("Kalman lagging after step: %v", f.Value())
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	f := NewKalman1D(0.01, 4)
+	// Deterministic pseudo-noise around 5.
+	seq := []float64{6.5, 3.5, 5.8, 4.2, 6.1, 3.9, 5.5, 4.5}
+	var dev float64
+	for i := 0; i < 200; i++ {
+		y := f.Update(seq[i%len(seq)])
+		if i > 50 {
+			dev += math.Abs(y - 5)
+		}
+	}
+	if dev/150 > 0.5 {
+		t.Fatalf("Kalman output too noisy: mean dev %v", dev/150)
+	}
+}
+
+func TestKalmanEstimateBounded(t *testing.T) {
+	err := quick.Check(func(zs []float64) bool {
+		f := NewKalman1D(0.1, 1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, z := range zs {
+			if math.IsNaN(z) || math.IsInf(z, 0) || math.Abs(z) > 1e12 {
+				continue
+			}
+			lo = math.Min(lo, z)
+			hi = math.Max(hi, z)
+			y := f.Update(z)
+			// The estimate is a convex combination of measurements.
+			if y < lo-1e-6 || y > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKalmanBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero variance")
+		}
+	}()
+	NewKalman1D(0, 1)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func bufThreads(n int) []*cpu.Thread {
+	k := sim.NewKernel(1)
+	m := cpu.NewMachine(k, cpu.Config{Contexts: 1})
+	p := m.NewProcess("p")
+	ts := make([]*cpu.Thread, n)
+	for i := range ts {
+		ts[i] = p.NewThread("t", func(t *cpu.Thread) { t.Park(0) })
+	}
+	return ts
+}
+
+func TestBufferClaimRespectsTarget(t *testing.T) {
+	b := NewSlotBuffer(16)
+	ts := bufThreads(5)
+	b.T = 2
+	if _, ok := b.TryClaim(ts[0]); !ok {
+		t.Fatal("first claim failed")
+	}
+	if _, ok := b.TryClaim(ts[1]); !ok {
+		t.Fatal("second claim failed")
+	}
+	if _, ok := b.TryClaim(ts[2]); ok {
+		t.Fatal("claim beyond target succeeded")
+	}
+	if b.Sleeping() != 2 {
+		t.Fatalf("Sleeping = %d, want 2", b.Sleeping())
+	}
+}
+
+func TestBufferLeaveFreesSpace(t *testing.T) {
+	b := NewSlotBuffer(16)
+	ts := bufThreads(3)
+	b.T = 1
+	idx, _ := b.TryClaim(ts[0])
+	if _, ok := b.TryClaim(ts[1]); ok {
+		t.Fatal("over-claim")
+	}
+	b.Leave(idx, ts[0])
+	if b.Sleeping() != 0 {
+		t.Fatalf("Sleeping = %d after leave", b.Sleeping())
+	}
+	if _, ok := b.TryClaim(ts[1]); !ok {
+		t.Fatal("claim after leave failed")
+	}
+}
+
+func TestBufferWakeOneScansGaps(t *testing.T) {
+	b := NewSlotBuffer(8)
+	ts := bufThreads(4)
+	b.T = 4
+	idx := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		idx[i], _ = b.TryClaim(ts[i])
+	}
+	// Middle sleeper leaves on its own, creating a gap.
+	b.Leave(idx[1], ts[1])
+	w1 := b.WakeOne()
+	w2 := b.WakeOne()
+	if w1 != ts[0] || w2 != ts[2] {
+		t.Fatalf("WakeOne order = %v, %v; want ts0, ts2", w1, w2)
+	}
+	if b.WakeOne() != nil {
+		t.Fatal("WakeOne on empty buffer returned a thread")
+	}
+}
+
+func TestBufferControllerClearBeforeSleep(t *testing.T) {
+	// Controller clears the slot between claim and park: SlotHolds must
+	// report false and Leave must count a controller wake.
+	b := NewSlotBuffer(8)
+	ts := bufThreads(2)
+	b.T = 1
+	idx, _ := b.TryClaim(ts[0])
+	if got := b.WakeOne(); got != ts[0] {
+		t.Fatalf("WakeOne = %v", got)
+	}
+	if b.SlotHolds(idx, ts[0]) {
+		t.Fatal("slot still held after controller clear")
+	}
+	b.Leave(idx, ts[0])
+	if b.ControllerWakes != 1 {
+		t.Fatalf("ControllerWakes = %d, want 1", b.ControllerWakes)
+	}
+	if b.Sleeping() != 0 {
+		t.Fatalf("Sleeping = %d", b.Sleeping())
+	}
+}
+
+func TestBufferWrapAround(t *testing.T) {
+	b := NewSlotBuffer(4)
+	ts := bufThreads(3)
+	b.T = 2
+	// Cycle many claims/leaves through a tiny array to force S to wrap
+	// the physical size repeatedly.
+	for i := 0; i < 25; i++ {
+		i1, ok1 := b.TryClaim(ts[0])
+		i2, ok2 := b.TryClaim(ts[1])
+		if !ok1 || !ok2 {
+			t.Fatalf("iteration %d: claims failed", i)
+		}
+		b.Leave(i1, ts[0])
+		b.Leave(i2, ts[1])
+	}
+	if b.S != 50 || b.W != 50 {
+		t.Fatalf("S=%d W=%d, want 50/50", b.S, b.W)
+	}
+}
+
+func TestBufferInvariantsQuick(t *testing.T) {
+	// Property: under arbitrary interleavings of claims, self-leaves and
+	// controller wakes, 0 <= Sleeping <= T always holds, and every
+	// claimed thread is eventually accounted for exactly once.
+	ts := bufThreads(8)
+	err := quick.Check(func(ops []uint8, target uint8) bool {
+		b := NewSlotBuffer(8)
+		b.T = int(target % 6)
+		type claim struct {
+			t   *cpu.Thread
+			idx int
+		}
+		var live []claim
+		used := map[*cpu.Thread]bool{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // claim with an unused thread
+				var free *cpu.Thread
+				for _, c := range ts {
+					if !used[c] {
+						free = c
+						break
+					}
+				}
+				if free == nil {
+					continue
+				}
+				if idx, ok := b.TryClaim(free); ok {
+					used[free] = true
+					live = append(live, claim{free, idx})
+				}
+			case 1: // self leave (timeout path)
+				if len(live) == 0 {
+					continue
+				}
+				c := live[0]
+				live = live[1:]
+				b.Leave(c.idx, c.t)
+				used[c.t] = false
+			case 2: // controller wake; the woken thread then leaves
+				if w := b.WakeOne(); w != nil {
+					for i, c := range live {
+						if c.t == w {
+							b.Leave(c.idx, c.t)
+							live = append(live[:i], live[i+1:]...)
+							used[w] = false
+							break
+						}
+					}
+				}
+			}
+			if b.Sleeping() < 0 || b.Sleeping() > b.T+len(b.slots) {
+				return false
+			}
+			if b.Sleeping() != len(live) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

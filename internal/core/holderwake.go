@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/cpu"
+)
+
+// Holder-wake extension (paper §6.1.2).
+//
+// Load control assumes spinning threads are safe to deschedule, but a
+// thread that claims a sleep slot while spinning on lock B may itself
+// hold lock A — parking it turns every waiter of A into a priority-
+// inversion victim for up to the 100ms sleep timeout. The paper proposes
+// letting threads "request waking lock holders which were load
+// controlled while spinning", bounding the inversion to roughly a
+// context switch. This file implements that extension; it is enabled by
+// Options.HolderWake and exercised by the nested-lock tests and the
+// ablation benchmarks.
+
+// sleepingSlots tracks, for each thread currently parked in the buffer,
+// the slot it occupies, so a waiter can find and wake it directly.
+// Maintained by SleepInSlot; read by RequestWake.
+
+// RequestWake wakes thread t if it is currently sleeping in a load-
+// control slot (or about to). It reports whether a wake was issued.
+// Waiters of a lock whose holder was load-controlled call this to bound
+// the inversion.
+func (c *Controller) RequestWake(t *cpu.Thread) bool {
+	idx, ok := c.sleepingAt[t]
+	if !ok {
+		return false
+	}
+	if !c.Buffer.SlotHolds(idx, t) {
+		// Already cleared by the controller; the thread is waking.
+		return false
+	}
+	// Clear the slot (so the sleeper's Leave sees a controller-style
+	// wake) and unpark.
+	c.Buffer.slots[idx] = nil
+	c.HolderWakes++
+	t.Unpark()
+	return true
+}
+
+// noteSleeping and clearSleeping maintain the reverse index.
+func (c *Controller) noteSleeping(t *cpu.Thread, idx int) {
+	c.sleepingAt[t] = idx
+}
+
+func (c *Controller) clearSleeping(t *cpu.Thread) {
+	delete(c.sleepingAt, t)
+}
+
+// noteAcquired / noteReleased track which LC locks each thread holds
+// (HolderWake mode only), so a claimant that holds a lock with waiters
+// declines to sleep instead of stranding them. Combined with
+// RequestWake (which covers waiters that arrive after the holder fell
+// asleep), this bounds nested-lock inversions to a context switch.
+func (c *Controller) noteAcquired(t *cpu.Thread, l *LCLock) {
+	if !c.opts.HolderWake {
+		return
+	}
+	set := c.held[t]
+	if set == nil {
+		set = make(map[*LCLock]struct{})
+		c.held[t] = set
+	}
+	set[l] = struct{}{}
+}
+
+func (c *Controller) noteReleased(t *cpu.Thread, l *LCLock) {
+	if !c.opts.HolderWake {
+		return
+	}
+	if set := c.held[t]; set != nil {
+		delete(set, l)
+		if len(set) == 0 {
+			delete(c.held, t)
+		}
+	}
+}
+
+// holdsContestedLock reports whether t holds an LC lock with waiters.
+func (c *Controller) holdsContestedLock(t *cpu.Thread) bool {
+	for l := range c.held[t] {
+		if l.inner.QueueLength() > 0 {
+			return true
+		}
+	}
+	return false
+}

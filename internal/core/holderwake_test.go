@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// nestedScenario builds the §6.1.2 pathology: a thread holding lock A is
+// load-controlled while spinning on lock B, stranding A's waiter. It
+// returns the nested holder's total parked time (the inversion the
+// extension bounds) and whether it was actually put to sleep.
+func nestedScenario(t *testing.T, holderWake bool) (holderBlocked time.Duration, slept bool, ctl *Controller) {
+	t.Helper()
+	w := newLCWorld(31, 2, Options{
+		DisableSensor: true,
+		SleepTimeout:  80 * time.Millisecond,
+		HolderWake:    holderWake,
+	})
+	w.ctl.Start()
+	la := NewLCLock(w.env, w.ctl)
+	lb := NewLCLock(w.env, w.ctl)
+	// bHolder keeps B busy so the nested thread spins on B.
+	w.p.NewThread("bHolder", func(th *cpu.Thread) {
+		lb.Acquire(th)
+		th.Compute(20 * time.Millisecond)
+		lb.Release(th)
+		th.Compute(200 * time.Millisecond)
+	})
+	nested := w.p.NewThread("nested", func(th *cpu.Thread) {
+		th.Compute(100 * time.Microsecond)
+		la.Acquire(th)
+		lb.Acquire(th) // spins; the claim will target this thread
+		lb.Release(th)
+		la.Release(th)
+		th.Compute(200 * time.Millisecond)
+	})
+	w.p.NewThread("aWaiter", func(th *cpu.Thread) {
+		th.Compute(3 * time.Millisecond) // arrive after the claim
+		la.Acquire(th)
+		la.Release(th)
+	})
+	w.p.NewThread("hog", func(th *cpu.Thread) { th.Compute(400 * time.Millisecond) })
+	w.k.After(time.Millisecond, func() { w.ctl.ForceTarget(1) })
+	w.k.RunFor(2500 * time.Microsecond)
+	didSleep := w.ctl.Buffer.Sleeping() > 0
+	w.k.RunFor(400 * time.Millisecond)
+	return nested.Acct().Blocked, didSleep, w.ctl
+}
+
+func TestHolderWakeBoundsNestedInversion(t *testing.T) {
+	blockedOff, sleptOff, _ := nestedScenario(t, false)
+	blockedOn, sleptOn, ctl := nestedScenario(t, true)
+	if !sleptOff || !sleptOn {
+		t.Skip("construction did not put the nested holder to sleep")
+	}
+	// Without the extension the nested holder sleeps out most of the
+	// 80ms timeout while holding lock A; with it, the wake request (or
+	// the decline-to-sleep check on re-claims) bounds its parked time.
+	if blockedOff < 50*time.Millisecond {
+		t.Fatalf("baseline holder only blocked %v; scenario did not strand it", blockedOff)
+	}
+	if blockedOn > blockedOff/2 {
+		t.Fatalf("holder wake did not bound the inversion: with=%v without=%v",
+			blockedOn, blockedOff)
+	}
+	if ctl.HolderWakes == 0 {
+		t.Fatal("no holder wakes recorded")
+	}
+}
+
+func TestDeclineToSleepWhenHoldingContestedLock(t *testing.T) {
+	// A thread holding an LC lock with waiters must never accept a
+	// sleep slot in HolderWake mode. Three contexts so the waiter is
+	// already queued on A when the claim arrives.
+	w := newLCWorld(37, 3, Options{DisableSensor: true, HolderWake: true})
+	w.ctl.Start()
+	la := NewLCLock(w.env, w.ctl)
+	lb := NewLCLock(w.env, w.ctl)
+	w.p.NewThread("bHolder", func(th *cpu.Thread) {
+		lb.Acquire(th)
+		th.Compute(50 * time.Millisecond)
+		lb.Release(th)
+	})
+	holder := w.p.NewThread("holder", func(th *cpu.Thread) {
+		th.Compute(50 * time.Microsecond)
+		la.Acquire(th)
+		lb.Acquire(th) // spins here while holding contested A
+		lb.Release(th)
+		la.Release(th)
+	})
+	w.p.NewThread("aWaiter", func(th *cpu.Thread) {
+		th.Compute(100 * time.Microsecond) // queue on A before any claim
+		la.Acquire(th)
+		la.Release(th)
+	})
+	w.k.After(2*time.Millisecond, func() { w.ctl.ForceTarget(1) })
+	// Sample continuously: the holder must never appear in the buffer.
+	for i := 0; i < 60; i++ {
+		w.k.RunFor(time.Millisecond)
+		if _, asleep := w.ctl.sleepingAt[holder]; asleep {
+			t.Fatal("holder of a contested lock was put to sleep")
+		}
+	}
+}
+
+func TestRequestWakeOnNonSleepingThread(t *testing.T) {
+	w := newLCWorld(33, 2, Options{DisableSensor: true})
+	th := w.p.NewThread("t", func(th *cpu.Thread) { th.Compute(time.Millisecond) })
+	w.k.RunFor(100 * time.Microsecond)
+	if w.ctl.RequestWake(th) {
+		t.Fatal("RequestWake succeeded on a running thread")
+	}
+}
+
+func TestSubIntervalSpikeInvisible(t *testing.T) {
+	// §6.1.1: a load spike much shorter than the controller interval
+	// must pass unnoticed (no sleepers created for it).
+	w := newLCWorld(35, 4, Options{Interval: 20 * time.Millisecond})
+	w.ctl.Start()
+	l := NewLCLock(w.env, w.ctl)
+	w.spawnWorkers(l, 3, 2*time.Microsecond, 2*time.Microsecond) // 75% load
+	w.k.RunFor(50 * time.Millisecond)
+	// Spike: 8 extra CPU-bound threads for 2ms (a tenth of the
+	// interval), then gone.
+	for i := 0; i < 8; i++ {
+		w.p.NewThread("spike", func(th *cpu.Thread) { th.Compute(2 * time.Millisecond) })
+	}
+	before := w.ctl.Buffer.Claims
+	w.k.RunFor(3 * time.Millisecond) // spike happens and ends
+	if got := w.ctl.Buffer.Claims - before; got != 0 {
+		t.Fatalf("controller reacted mid-interval: %d claims", got)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/locks"
+)
+
+// LCLock is the application-visible load-controlled spinlock (paper
+// §3.1.2): a TP-MCS lock whose spinners cooperate with the controller's
+// sleep slot buffer. While a thread polls for the lock handoff it also
+// watches for open sleep slots; if it claims one it leaves the queue,
+// sleeps until the controller wakes it or 100ms pass, and then restarts
+// its acquire as if it had just arrived.
+type LCLock struct {
+	inner ManagedLock
+	name  string
+	ctl   *Controller
+}
+
+// ManagedLock is a spinlock whose waits load control can observe and
+// abort. TPMCS is the paper's choice; MCS satisfies it too (the §5.4
+// ablation showing load control makes preemption resistance almost
+// redundant).
+type ManagedLock interface {
+	AcquireManaged(t *cpu.Thread, mgr locks.WaitManager) locks.WaitStatus
+	Release(t *cpu.Thread)
+	Holder() *cpu.Thread
+	QueueLength() int
+	Name() string
+}
+
+// NewLCLock builds a load-controlled lock over TP-MCS attached to ctl.
+func NewLCLock(env *locks.Env, ctl *Controller) *LCLock {
+	return NewLCLockOver(locks.NewTPMCS(env).(*locks.TPMCS), ctl)
+}
+
+// NewLCLockOver wraps an explicit managed lock (TP-MCS or plain MCS).
+func NewLCLockOver(inner ManagedLock, ctl *Controller) *LCLock {
+	return &LCLock{inner: inner, name: "load-control(" + inner.Name() + ")", ctl: ctl}
+}
+
+// Factory returns a locks.Factory producing LCLocks bound to ctl, so
+// workloads parameterized over lock factories can run under load
+// control unchanged.
+func Factory(ctl *Controller) locks.Factory {
+	return func(env *locks.Env) locks.Lock { return NewLCLock(env, ctl) }
+}
+
+// FactoryOverMCS returns a factory building load control over plain MCS
+// (the §5.4 ablation).
+func FactoryOverMCS(ctl *Controller) locks.Factory {
+	return func(env *locks.Env) locks.Lock {
+		return NewLCLockOver(locks.NewMCS(env).(*locks.MCS), ctl)
+	}
+}
+
+// Name implements locks.Lock.
+func (l *LCLock) Name() string { return l.name }
+
+// Inner exposes the underlying managed lock (for tests and metrics).
+func (l *LCLock) Inner() ManagedLock { return l.inner }
+
+// Acquire implements locks.Lock.
+func (l *LCLock) Acquire(t *cpu.Thread) {
+	reg := l.ctl.Registry()
+	for {
+		if l.ctl.opts.HolderWake {
+			// §6.1.2 extension: if the current holder was put to sleep
+			// by load control (it claimed a slot while spinning on a
+			// second lock), wake it so this wait is bounded by a
+			// context switch rather than the 100ms sleep timeout.
+			if h := l.inner.Holder(); h != nil {
+				l.ctl.RequestWake(h)
+			}
+		}
+		status := l.inner.AcquireManaged(t, reg)
+		if status == locks.WaitGranted {
+			// A slot claim may have raced with the grant and lost;
+			// if we still own a slot record, surrender it.
+			if idx, ok := reg.ClaimedSlot(t); ok {
+				l.ctl.Buffer.Leave(idx, t)
+			}
+			l.ctl.noteAcquired(t, l)
+			return
+		}
+		// Aborted: we claimed a sleep slot. Sleep, then retry from
+		// scratch.
+		idx, ok := reg.ClaimedSlot(t)
+		if !ok {
+			// Defensive: aborted without a slot (should not happen).
+			continue
+		}
+		l.ctl.SleepInSlot(t, idx)
+	}
+}
+
+// Release implements locks.Lock.
+func (l *LCLock) Release(t *cpu.Thread) {
+	l.ctl.noteReleased(t, l)
+	l.inner.Release(t)
+}

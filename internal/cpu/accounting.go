@@ -1,0 +1,97 @@
+package cpu
+
+import "time"
+
+// Accounting is a microstate-accounting record: where a thread's (or,
+// aggregated, a process's) wall-clock time went. All fields are
+// cumulative virtual durations.
+type Accounting struct {
+	// Work is useful computation on CPU.
+	Work time.Duration
+	// SpinContention is spinning while the awaited lock holder was on
+	// CPU (true contention).
+	SpinContention time.Duration
+	// SpinPrioInv is spinning while the awaited lock holder was
+	// descheduled (priority inversion).
+	SpinPrioInv time.Duration
+	// Other is context-switch-in overhead.
+	Other time.Duration
+	// WaitRun is time spent runnable, waiting for a hardware context.
+	WaitRun time.Duration
+	// Blocked is time parked.
+	Blocked time.Duration
+	// IOWait is time waiting for I/O completions.
+	IOWait time.Duration
+}
+
+// add accumulates b into a.
+func (a *Accounting) add(b Accounting) {
+	a.Work += b.Work
+	a.SpinContention += b.SpinContention
+	a.SpinPrioInv += b.SpinPrioInv
+	a.Other += b.Other
+	a.WaitRun += b.WaitRun
+	a.Blocked += b.Blocked
+	a.IOWait += b.IOWait
+}
+
+// OnCPU returns total context-occupancy time.
+func (a Accounting) OnCPU() time.Duration {
+	return a.Work + a.SpinContention + a.SpinPrioInv + a.Other
+}
+
+// LoadMeter reads a process's load (average runnable thread count) over
+// successive intervals, mirroring Solaris microstate accounting: precise
+// integrals, no sampling.
+type LoadMeter struct {
+	p            *Process
+	lastIntegral float64
+	lastTime     float64
+}
+
+// NewLoadMeter creates a meter positioned at the current instant.
+func NewLoadMeter(p *Process) *LoadMeter {
+	return &LoadMeter{
+		p:            p,
+		lastIntegral: p.loadIntegralAt(),
+		lastTime:     float64(p.m.K.Now()),
+	}
+}
+
+// Read returns the average number of runnable threads since the previous
+// Read (or since construction) and advances the window. A zero-length
+// window returns the instantaneous count.
+//
+// Read models only the measurement; the caller is responsible for
+// charging the syscall cost (Machine.AccountingCost) and the kernel
+// serialization (Machine.ChargeAccountingRead does both).
+func (lm *LoadMeter) Read() float64 {
+	now := float64(lm.p.m.K.Now())
+	integ := lm.p.loadIntegralAt()
+	dt := now - lm.lastTime
+	var load float64
+	if dt <= 0 {
+		load = float64(lm.p.runnable)
+	} else {
+		load = (integ - lm.lastIntegral) / dt
+	}
+	lm.lastIntegral = integ
+	lm.lastTime = now
+	return load
+}
+
+// AccountingCost returns the CPU cost of one microstate read for process
+// p: Solaris walks every thread in the process.
+func (m *Machine) AccountingCost(p *Process) time.Duration {
+	return m.Cfg.AccountingBaseCost +
+		time.Duration(len(p.threads))*m.Cfg.AccountingPerThreadCost
+}
+
+// ChargeAccountingRead makes thread t pay for a microstate read of
+// process p and stalls scheduler operations for the same span, modelling
+// the kernel-level serialization the paper complains about (§6.2.2).
+func (m *Machine) ChargeAccountingRead(t *Thread, p *Process) {
+	cost := m.AccountingCost(p)
+	m.sched.stall(cost)
+	t.Compute(cost)
+}

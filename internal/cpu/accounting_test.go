@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestAcctBucketsSumToWallClock(t *testing.T) {
+	// For a single thread, the accounting buckets plus off-CPU states
+	// must account for every nanosecond of its life.
+	k := sim.NewKernel(1)
+	m := NewMachine(k, Config{Contexts: 1})
+	p := m.NewProcess("p")
+	th := p.NewThread("w", func(th *Thread) {
+		th.Compute(3 * time.Millisecond)
+		th.IO(2 * time.Millisecond)
+		th.Park(5 * time.Millisecond) // wakes at a tick
+		th.Compute(time.Millisecond)
+	})
+	// A competitor so the first thread also waits in the run queue.
+	p.NewThread("rival", func(th *Thread) { th.Compute(4 * time.Millisecond) })
+	k.RunFor(60 * time.Millisecond)
+	if !th.Done() {
+		t.Fatal("thread not done")
+	}
+	a := th.Acct()
+	sum := a.Work + a.SpinContention + a.SpinPrioInv + a.Other +
+		a.WaitRun + a.Blocked + a.IOWait
+	// The thread was born at t=0 and finished when it terminated; its
+	// buckets must cover its entire lifetime (to within the final
+	// instant, since terminate flushes everything).
+	if a.Work != 4*time.Millisecond {
+		t.Fatalf("Work = %v, want 4ms", a.Work)
+	}
+	if a.IOWait != 2*time.Millisecond {
+		t.Fatalf("IOWait = %v, want 2ms", a.IOWait)
+	}
+	if a.Blocked < 5*time.Millisecond {
+		t.Fatalf("Blocked = %v, want >= 5ms (tick-quantized)", a.Blocked)
+	}
+	if a.WaitRun == 0 {
+		t.Fatal("never waited for CPU despite a rival on 1 context")
+	}
+	if sum < 12*time.Millisecond {
+		t.Fatalf("buckets sum to %v, below the obvious lower bound", sum)
+	}
+}
+
+func TestFlushViewMidActivity(t *testing.T) {
+	// Reading accounting in the middle of a Compute must include the
+	// partial segment without disturbing it.
+	k := sim.NewKernel(1)
+	m := NewMachine(k, Config{Contexts: 1})
+	p := m.NewProcess("p")
+	th := p.NewThread("w", func(th *Thread) { th.Compute(10 * time.Millisecond) })
+	k.RunFor(3 * time.Millisecond)
+	mid := th.Acct().Work
+	if mid < 2500*time.Microsecond || mid > 3100*time.Microsecond {
+		t.Fatalf("mid-compute Work = %v, want ~3ms", mid)
+	}
+	k.RunFor(20 * time.Millisecond)
+	if final := th.Acct().Work; final != 10*time.Millisecond {
+		t.Fatalf("final Work = %v, want 10ms", final)
+	}
+}
+
+func TestLoadMeterWindowsAreIndependent(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, Config{Contexts: 4})
+	p := m.NewProcess("p")
+	// Phase 1: two busy threads; phase 2: none.
+	for i := 0; i < 2; i++ {
+		p.NewThread("w", func(th *Thread) { th.Compute(20 * time.Millisecond) })
+	}
+	lm := NewLoadMeter(p)
+	k.RunFor(10 * time.Millisecond)
+	l1 := lm.Read()
+	k.RunFor(10 * time.Millisecond)
+	l2 := lm.Read()
+	k.RunFor(20 * time.Millisecond) // both threads done
+	l3 := lm.Read()
+	if l1 < 1.9 || l1 > 2.1 || l2 < 1.9 || l2 > 2.1 {
+		t.Fatalf("busy windows: %v, %v; want ~2", l1, l2)
+	}
+	if l3 > 1.1 {
+		t.Fatalf("idle window reads %v, want ~<1", l3)
+	}
+}
+
+func TestPerProcessAccountingIsolated(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, Config{Contexts: 4})
+	p1 := m.NewProcess("p1")
+	p2 := m.NewProcess("p2")
+	p1.NewThread("w", func(th *Thread) { th.Compute(5 * time.Millisecond) })
+	p2.NewThread("w", func(th *Thread) { th.Compute(10 * time.Millisecond) })
+	k.RunFor(50 * time.Millisecond)
+	if w := p1.Acct().Work; w != 5*time.Millisecond {
+		t.Fatalf("p1 Work = %v", w)
+	}
+	if w := p2.Acct().Work; w != 10*time.Millisecond {
+		t.Fatalf("p2 Work = %v", w)
+	}
+}
+
+func TestOnCPUHelper(t *testing.T) {
+	var a Accounting
+	a.Work = time.Millisecond
+	a.SpinContention = 2 * time.Millisecond
+	a.SpinPrioInv = 3 * time.Millisecond
+	a.Other = 4 * time.Millisecond
+	a.Blocked = time.Hour // must not count
+	if got := a.OnCPU(); got != 10*time.Millisecond {
+		t.Fatalf("OnCPU = %v, want 10ms", got)
+	}
+}

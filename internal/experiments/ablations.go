@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ablation-mcs", runAblationMCS)
+	register("ablation-control", runAblationControl)
+}
+
+// runAblationMCS reproduces the §5.4 observation: once load control is
+// active, replacing the preemption-resistant TP-MCS with a plain MCS
+// lock costs only a little — destructive convoys can no longer form, so
+// the preemption resistance is nearly redundant. Compare four variants
+// of TM-1 at 150% load.
+func runAblationMCS(cfg Config) *Figure {
+	clients := cfg.Contexts + cfg.Contexts/2
+	fig := &Figure{
+		ID:     "ablation-mcs",
+		Title:  "Load control makes preemption resistance nearly redundant (TM-1, 150% load)",
+		XLabel: "variant",
+		YLabel: "throughput (txn/s)",
+	}
+	variants := []lockSetup{
+		tpmcsSetup(),
+		mcsSetup(),
+		lcSetup(core.Options{}),
+		lcMCSSetup(core.Options{}),
+	}
+	s := Series{Name: "Throughput"}
+	for i, ls := range variants {
+		w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+		b := workload.NewTM1(w, workload.TM1Config{
+			Subscribers: cfg.Subscribers,
+			Latch:       ls.prepare(w),
+		})
+		r := workload.Measure(w, b, ls.name, clients, cfg.Warmup, cfg.Window)
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, r.Throughput)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("x=%d: %s → %.0f txn/s", i, ls.name, r.Throughput))
+	}
+	fig.Series = []Series{s}
+	return fig
+}
+
+// runAblationControl compares §6.2.1's control-theory variants of the
+// load controller on TM-1 at 110% load: the raw controller, a low-pass
+// filtered sensor, a Kalman-filtered sensor, and a PID policy.
+func runAblationControl(cfg Config) *Figure {
+	clients := cfg.Contexts + cfg.Contexts/8
+	type variant struct {
+		name string
+		opts func() core.Options
+	}
+	variants := []variant{
+		{"raw", func() core.Options { return core.Options{} }},
+		{"lowpass", func() core.Options {
+			f := control.NewLowPass(0.4)
+			return core.Options{Filter: f.Update}
+		}},
+		{"kalman", func() core.Options {
+			f := control.NewKalman1D(0.5, 2.0)
+			return core.Options{Filter: f.Update}
+		}},
+		{"pid", func() core.Options {
+			pid := control.NewPID(0.8, 0.2, 0.05)
+			pid.IntegralClamp = float64(cfg.Contexts)
+			return core.Options{
+				Policy: func(load float64, sleeping, targetLoad int) int {
+					// Error: how far offered load exceeds the target.
+					err := (load + float64(sleeping)) - float64(targetLoad)
+					return int(pid.Update(err, 1))
+				},
+			}
+		}},
+	}
+	fig := &Figure{
+		ID:     "ablation-control",
+		Title:  "Control-theory extensions (§6.2.1), TM-1 at 110% load",
+		XLabel: "variant",
+		YLabel: "throughput (txn/s)",
+	}
+	s := Series{Name: "Throughput"}
+	for i, v := range variants {
+		w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+		ctl := core.NewController(w.P, v.opts())
+		ctl.Start()
+		b := workload.NewTM1(w, workload.TM1Config{
+			Subscribers: cfg.Subscribers,
+			Latch:       core.Factory(ctl),
+		})
+		r := workload.Measure(w, b, v.name, clients, cfg.Warmup, cfg.Window)
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, r.Throughput)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("x=%d: %s → %.0f txn/s", i, v.name, r.Throughput))
+	}
+	fig.Series = []Series{s}
+	return fig
+}

@@ -1,0 +1,253 @@
+// Package experiments contains one harness per data figure in the
+// paper's evaluation (Figures 1, 3, 4, 5, 6, 8, 9, 10, 11, 12) plus the
+// ablations the text describes (§5.4 MCS-under-LC, §6.2.1 control-theory
+// filters). Each harness builds fresh simulated machines, runs the
+// workload under the requested primitives, and returns a Figure —
+// labelled series ready to print or compare against the paper's shapes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/workload"
+)
+
+// Config controls experiment scale. The zero value takes full defaults;
+// Quick() returns a configuration small enough for unit tests and
+// testing.B benchmarks.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical figures.
+	Seed uint64
+	// Contexts is the machine size (paper: 64).
+	Contexts int
+	// Warmup and Window are the measurement phases per point.
+	Warmup, Window time.Duration
+	// Subscribers scales TM-1; Warehouses scales TPC-C.
+	Subscribers int
+	Warehouses  int
+	// MaxLoadFactor caps the thread sweep relative to Contexts
+	// (paper sweeps to 3x = 192 threads on 64 contexts).
+	MaxLoadFactor float64
+}
+
+// Default returns the full-scale configuration.
+func Default() Config {
+	return Config{
+		Seed:          42,
+		Contexts:      64,
+		Warmup:        30 * time.Millisecond,
+		Window:        100 * time.Millisecond,
+		Subscribers:   20000,
+		Warehouses:    8,
+		MaxLoadFactor: 3,
+	}
+}
+
+// Quick returns a scaled-down configuration for tests and benches.
+func Quick() Config {
+	return Config{
+		Seed:          42,
+		Contexts:      16,
+		Warmup:        10 * time.Millisecond,
+		Window:        40 * time.Millisecond,
+		Subscribers:   2000,
+		Warehouses:    2,
+		MaxLoadFactor: 2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Contexts == 0 {
+		c.Contexts = d.Contexts
+	}
+	if c.Warmup == 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.Subscribers == 0 {
+		c.Subscribers = d.Subscribers
+	}
+	if c.Warehouses == 0 {
+		c.Warehouses = d.Warehouses
+	}
+	if c.MaxLoadFactor == 0 {
+		c.MaxLoadFactor = d.MaxLoadFactor
+	}
+	return c
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the output of one experiment.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Table renders the figure as an aligned text table (series as columns).
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteString("\n")
+	// Union of X values across series (series may have distinct grids).
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range f.Series {
+			v, ok := s.at(x)
+			if ok {
+				fmt.Fprintf(&b, " %16.4g", v)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (s *Series) at(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) *Figure
+
+// registry maps figure IDs to runners.
+var registry = map[string]Runner{}
+
+// register is called from each figure file's init.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// Run executes the experiment with the given ID ("fig01" ... "fig12",
+// "ablation-mcs", "ablation-control").
+func Run(id string, cfg Config) (*Figure, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg.withDefaults()), nil
+}
+
+// IDs lists registered experiments in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// lockSetup prepares a lock factory inside a world, starting any
+// daemons the primitive needs (the load controller, the LTB monitor).
+type lockSetup struct {
+	name    string
+	prepare func(w *workload.World) locks.Factory
+}
+
+// pthreadSetup: the OS adaptive mutex ("Blocking" in Figure 1).
+func pthreadSetup() lockSetup {
+	return lockSetup{"pthread", func(w *workload.World) locks.Factory {
+		return locks.NewAdaptiveMutex
+	}}
+}
+
+// tpmcsSetup: the preemption-resistant spinlock ("Spinning").
+func tpmcsSetup() lockSetup {
+	return lockSetup{"tp-mcs", func(w *workload.World) locks.Factory {
+		return locks.NewTPMCS
+	}}
+}
+
+// mcsSetup: the plain queue lock.
+func mcsSetup() lockSetup {
+	return lockSetup{"mcs", func(w *workload.World) locks.Factory {
+		return locks.NewMCS
+	}}
+}
+
+// lcSetup: TP-MCS + load control with the given controller options.
+func lcSetup(opts core.Options) lockSetup {
+	return lockSetup{"lc", func(w *workload.World) locks.Factory {
+		ctl := core.NewController(w.P, opts)
+		ctl.Start()
+		return core.Factory(ctl)
+	}}
+}
+
+// lcMCSSetup: plain MCS + load control (§5.4 ablation).
+func lcMCSSetup(opts core.Options) lockSetup {
+	return lockSetup{"lc-mcs", func(w *workload.World) locks.Factory {
+		ctl := core.NewController(w.P, opts)
+		ctl.Start()
+		return core.FactoryOverMCS(ctl)
+	}}
+}
+
+// threadSweep builds the client-count grid the paper uses: powers below
+// 100% load, then steps past it to MaxLoadFactor.
+func threadSweep(cfg Config) []int {
+	c := cfg.Contexts
+	pts := []int{1, c / 4, c / 2, 3 * c / 4, c - 1, c + c/8, c + c/2, 2 * c}
+	if cfg.MaxLoadFactor >= 3 {
+		pts = append(pts, 3*c)
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range pts {
+		if p >= 1 && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

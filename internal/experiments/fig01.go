@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+func init() { register("fig01", runFig01) }
+
+// runFig01 reproduces Figure 1: TM-1 throughput versus offered load for
+// the blocking OS mutex and the TP-MCS spinlock, with the ideal curve
+// (linear to 100% load, flat beyond) for reference. The paper's shape:
+// blocking collapses well before 100% load as handoffs start context-
+// switching; spinning peaks at 100% then falls off a cliff from
+// priority inversions.
+func runFig01(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "fig01",
+		Title:  "Weaknesses of blocking and spinning (TM-1 throughput vs load)",
+		XLabel: "threads",
+		YLabel: "throughput (txn/s)",
+		Notes: []string{
+			"Blocking = adaptive spin-then-block mutex; Spinning = TP-MCS",
+		},
+	}
+	sweep := threadSweep(cfg)
+	var peak float64
+	for _, ls := range []lockSetup{pthreadSetup(), tpmcsSetup()} {
+		s := Series{Name: map[string]string{"pthread": "Blocking", "tp-mcs": "Spinning"}[ls.name]}
+		for _, n := range sweep {
+			w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+			f := ls.prepare(w)
+			b := workload.NewTM1(w, workload.TM1Config{
+				Subscribers: cfg.Subscribers, Latch: f,
+			})
+			r := workload.Measure(w, b, ls.name, n, cfg.Warmup, cfg.Window)
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, r.Throughput)
+			if r.Throughput > peak {
+				peak = r.Throughput
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// Ideal: linear up to 100% load, flat thereafter, scaled to the
+	// observed peak.
+	ideal := Series{Name: "Ideal"}
+	for _, n := range sweep {
+		ideal.X = append(ideal.X, float64(n))
+		y := peak
+		if n < cfg.Contexts {
+			y = peak * float64(n) / float64(cfg.Contexts)
+		}
+		ideal.Y = append(ideal.Y, y)
+	}
+	fig.Series = append(fig.Series, ideal)
+	return fig
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+func init() { register("fig03", runFig03) }
+
+// runFig03 reproduces Figure 3: the machine-utilization breakdown of
+// TM-1 under TP-MCS as load grows — useful work, spinning on true
+// contention, and spinning in priority inversion. The paper's shape:
+// below 100% load inversion is absent and contention small; past 100%
+// inversion explodes to dominate CPU time while true contention stays
+// minor.
+func runFig03(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "fig03",
+		Title:  "Spinning: priority inversion (CPU breakdown, TM-1 + TP-MCS)",
+		XLabel: "threads",
+		YLabel: "machine share (%)",
+	}
+	work := Series{Name: "Work"}
+	cont := Series{Name: "Contention"}
+	inv := Series{Name: "Prio-Invert"}
+	for _, n := range threadSweep(cfg) {
+		w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+		b := workload.NewTM1(w, workload.TM1Config{Subscribers: cfg.Subscribers})
+		b.Start(n)
+		w.K.RunFor(cfg.Warmup)
+		a0 := w.P.Acct()
+		w.K.RunFor(cfg.Window)
+		a1 := w.P.Acct()
+		total := float64(cfg.Contexts) * float64(cfg.Window)
+		pct := func(d0, d1 time.Duration) float64 {
+			return 100 * float64(d1-d0) / total
+		}
+		x := float64(n)
+		work.X = append(work.X, x)
+		work.Y = append(work.Y, pct(a0.Work+a0.Other, a1.Work+a1.Other))
+		cont.X = append(cont.X, x)
+		cont.Y = append(cont.Y, pct(a0.SpinContention, a1.SpinContention))
+		inv.X = append(inv.X, x)
+		inv.Y = append(inv.Y, pct(a0.SpinPrioInv, a1.SpinPrioInv))
+	}
+	fig.Series = []Series{work, cont, inv}
+	return fig
+}

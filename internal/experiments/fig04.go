@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+func init() { register("fig04", runFig04) }
+
+// runFig04 reproduces Figure 4: TM-1 under the adaptive OS mutex —
+// throughput and context-switch rate versus client count. The paper's
+// shape: below a knee the mutex never blocks (switch rate tracks the
+// commit-I/O rate); past it waiters exhaust their spin patience and the
+// switch rate climbs until every handoff context-switches, dragging
+// throughput down.
+func runFig04(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "fig04",
+		Title:  "Blocking: scheduler overload (TM-1 + adaptive mutex)",
+		XLabel: "threads",
+		YLabel: "txn/s | switches/s",
+	}
+	tput := Series{Name: "Throughput"}
+	sw := Series{Name: "SwitchRate"}
+	for _, n := range threadSweep(cfg) {
+		w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+		b := workload.NewTM1(w, workload.TM1Config{
+			Subscribers: cfg.Subscribers,
+			Latch:       pthreadSetup().prepare(w),
+		})
+		r := workload.Measure(w, b, "pthread", n, cfg.Warmup, cfg.Window)
+		tput.X = append(tput.X, float64(n))
+		tput.Y = append(tput.Y, r.Throughput)
+		sw.X = append(sw.X, float64(n))
+		sw.Y = append(sw.Y, float64(r.Switches)/cfg.Window.Seconds())
+	}
+	fig.Series = []Series{tput, sw}
+	return fig
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() { register("fig05", runFig05) }
+
+// runFig05 reproduces Figure 5: the active-thread-count trace of TM-1
+// under load-triggered backoff with an artificially lowered load target.
+// The paper's shape: a fairly steady baseline before backoff engages,
+// then wild oscillation — dips when sleepers overshoot and spikes when
+// the OS wakes groups of them together at scheduler ticks, because the
+// one-sided mechanism cannot wake threads early.
+func runFig05(cfg Config) *Figure {
+	target := cfg.Contexts / 2
+	clients := cfg.Contexts - 1
+	w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+	mon := locks.NewLTBMonitor(w.Env, w.P)
+	mon.Target = float64(target)
+	b := workload.NewTM1(w, workload.TM1Config{
+		Subscribers: cfg.Subscribers,
+		Latch: func(env *locks.Env) locks.Lock {
+			return locks.NewLoadTriggeredBackoff(env, mon)
+		},
+	})
+
+	// Record the runnable-thread count over time.
+	var ts stats.TimeSeries
+	w.M.Observe(func(p *cpu.Process, runnable int) {
+		if p == w.P {
+			ts.Record(int64(w.K.Now()), float64(runnable))
+		}
+	})
+
+	b.Start(clients)
+	baseline := 4 * cfg.Window
+	active := 6 * cfg.Window
+	w.K.RunFor(baseline)
+	mon.Start() // enable backoff mid-run, like the paper's trace
+	w.K.RunFor(active)
+
+	// Resample for the figure and compute variability stats on the
+	// active phase.
+	n := 200
+	xs, vs := ts.Resample(0, int64(w.K.Now()), n)
+	s := Series{Name: "ActiveThreads"}
+	for i := range xs {
+		s.X = append(s.X, time.Duration(xs[i]).Seconds())
+		s.Y = append(s.Y, vs[i])
+	}
+	tgt := Series{Name: "Target"}
+	for i := range xs {
+		tgt.X = append(tgt.X, time.Duration(xs[i]).Seconds())
+		if xs[i] < int64(baseline) {
+			tgt.Y = append(tgt.Y, float64(clients))
+		} else {
+			tgt.Y = append(tgt.Y, float64(target))
+		}
+	}
+
+	var pre, post stats.Running
+	for i := range xs {
+		if xs[i] < int64(baseline) {
+			pre.Add(vs[i])
+		} else if xs[i] > int64(baseline)+int64(cfg.Window) {
+			post.Add(vs[i])
+		}
+	}
+	return &Figure{
+		ID:     "fig05",
+		Title:  "Blocking backoff: variability (TM-1, one-sided load-triggered backoff)",
+		XLabel: "time (s)",
+		YLabel: "active threads",
+		Series: []Series{s, tgt},
+		Notes: []string{
+			fmt.Sprintf("baseline: mean=%.1f stddev=%.1f", pre.Mean(), pre.Stddev()),
+			fmt.Sprintf("backoff active: mean=%.1f stddev=%.1f min=%.0f max=%.0f",
+				post.Mean(), post.Stddev(), post.Min(), post.Max()),
+			fmt.Sprintf("monitor put %d spinners to sleep", mon.Sleeps),
+		},
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() { register("fig08", runFig08) }
+
+// runFig08 reproduces Figure 8, the "bump test": the controller's sensor
+// is disabled and the sleep target is driven in a fixed step pattern
+// while the microbenchmark runs at 100% load. A controllable system
+// shows an immediate, proportional change in running threads at every
+// step. The paper reports first response within 30µs and settling
+// within 200µs; the harness measures both.
+func runFig08(cfg Config) *Figure {
+	nThreads := cfg.Contexts
+	w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+	ctl := core.NewController(w.P, core.Options{
+		DisableSensor: true,
+		SleepTimeout:  time.Second, // keep sleepers down until told
+	})
+	ctl.Start()
+	b := workload.NewMicro(w, core.Factory(ctl))
+	b.CSLen = 1 * time.Microsecond
+	b.Delay = 4 * time.Microsecond // high contention: plenty of spinners
+
+	var ts stats.TimeSeries
+	w.M.Observe(func(p *cpu.Process, runnable int) {
+		if p == w.P {
+			ts.Record(int64(w.K.Now()), float64(w.M.RunningThreads()))
+		}
+	})
+
+	b.Start(nThreads)
+	w.K.RunFor(cfg.Warmup)
+
+	// The step pattern, as fractions of the machine.
+	steps := []int{
+		cfg.Contexts / 4,
+		cfg.Contexts / 2,
+		cfg.Contexts / 8,
+		cfg.Contexts * 3 / 8,
+		0,
+	}
+	stepLen := 15 * time.Millisecond
+	target := Series{Name: "Target"}
+	var settleNotes []string
+	start := w.K.Now()
+	for _, tgt := range steps {
+		at := w.K.Now()
+		ctl.ForceTarget(tgt)
+		wantRunning := float64(nThreads - tgt)
+		w.K.RunFor(stepLen)
+		// Settling time: when did the trace last move to within 2 of
+		// the desired level and stay there?
+		settled := settleTime(&ts, int64(at), int64(w.K.Now()), wantRunning, 2)
+		settleNotes = append(settleNotes,
+			fmt.Sprintf("target %d: settled to %d threads in %v",
+				tgt, int(wantRunning), settled))
+		target.X = append(target.X, time.Duration(at-start).Seconds())
+		target.Y = append(target.Y, wantRunning)
+	}
+
+	measured := Series{Name: "Measured"}
+	xs, vs := ts.Resample(int64(start), int64(w.K.Now()), 300)
+	for i := range xs {
+		measured.X = append(measured.X, time.Duration(xs[i]-int64(start)).Seconds())
+		measured.Y = append(measured.Y, vs[i])
+	}
+	return &Figure{
+		ID:     "fig08",
+		Title:  "Response to a fixed-timing pattern of control output (bump test)",
+		XLabel: "time (s)",
+		YLabel: "running threads",
+		Series: []Series{target, measured},
+		Notes:  settleNotes,
+	}
+}
+
+// settleTime returns how long after `from` the series reached and stayed
+// within tol of want (until `to`). Returns the full span if it never
+// settled.
+func settleTime(ts *stats.TimeSeries, from, to int64, want, tol float64) time.Duration {
+	// Sample the window and find the last instant outside the band.
+	const n = 400
+	step := (to - from) / n
+	if step < 1 {
+		step = 1
+	}
+	var lastBad int64 = -1
+	for t := from; t < to; t += step {
+		v := ts.At(t)
+		if v < want-tol || v > want+tol {
+			lastBad = t
+		}
+	}
+	if lastBad < 0 {
+		return 0 // in band for the whole window
+	}
+	// Settled one sample after the last bad one.
+	return time.Duration(lastBad + step - from)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func init() { register("fig11", runFig11) }
+
+// runFig11 reproduces Figure 11: Raytrace, TM-1 and TPC-C throughput as
+// the thread count sweeps from near-idle to 2x overload, under pthread
+// (adaptive mutex), TP-MCS and load control. The paper's shape:
+//
+//   - Raytrace/TM-1: TP-MCS beats pthread below 100% load, then loses
+//     >60% of peak to priority inversions; LC tracks TP-MCS below 100%
+//     and keeps 85-92% of peak beyond it.
+//   - TPC-C: database-lock blocking dominates, so all three primitives
+//     behave similarly.
+//
+// Throughput is normalized per workload to the best observed point so
+// the three clusters are comparable like the paper's single chart.
+func runFig11(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "fig11",
+		Title:  "Application performance as the thread count varies",
+		XLabel: "threads",
+		YLabel: "normalized throughput",
+	}
+	sweep := threadSweep(cfg)
+	setups := []lockSetup{pthreadSetup(), tpmcsSetup(), lcSetup(core.Options{})}
+	for _, wl := range []string{"raytrace", "tm1", "tpcc"} {
+		raw := make(map[string][]float64)
+		var peak float64
+		for _, ls := range setups {
+			var ys []float64
+			for _, n := range sweep {
+				w := workload.NewWorld(cfg.Seed, cfg.Contexts)
+				f := ls.prepare(w)
+				var d workload.Driver
+				switch wl {
+				case "raytrace":
+					d = workload.NewRaytrace(w, f)
+				case "tm1":
+					d = workload.NewTM1(w, workload.TM1Config{
+						Subscribers: cfg.Subscribers, Latch: f,
+					})
+				case "tpcc":
+					d = workload.NewTPCC(w, workload.TPCCConfig{
+						Warehouses: cfg.Warehouses, Latch: f,
+					})
+				}
+				r := workload.Measure(w, d, ls.name, n, cfg.Warmup, cfg.Window)
+				ys = append(ys, r.Throughput)
+				if r.Throughput > peak {
+					peak = r.Throughput
+				}
+			}
+			raw[ls.name] = ys
+		}
+		for _, ls := range setups {
+			s := Series{Name: fmt.Sprintf("%s/%s", wl, ls.name)}
+			for i, n := range sweep {
+				s.X = append(s.X, float64(n))
+				y := raw[ls.name][i]
+				if peak > 0 {
+					y /= peak
+				}
+				s.Y = append(s.Y, y)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig
+}

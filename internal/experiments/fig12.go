@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/workload"
+)
+
+func init() { register("fig12", runFig12) }
+
+// runFig12 reproduces Figure 12: interference between processes. "Self"
+// runs TM-1 with load control at 100% machine load; "other" runs a
+// second TM-1 instance at 0..150% extra offered load, with and without
+// load control of its own. The paper's shape: when both use LC they
+// share cleanly (10-15% aggregate loss); when "other" spins freely,
+// "self" still keeps roughly a third of its solo throughput while
+// "other" wastes much of its CPU share on priority inversions — load
+// control does not starve its host process.
+func runFig12(cfg Config) *Figure {
+	extras := []int{0, cfg.Contexts / 2, cfg.Contexts, cfg.Contexts + cfg.Contexts/2}
+	fig := &Figure{
+		ID:     "fig12",
+		Title:  "Cost of interference from other processes (two TM-1 instances)",
+		XLabel: "extra load offered by other (%)",
+		YLabel: "throughput (txn/s)",
+	}
+	selfLC := Series{Name: "Self+LC (other raw)"}
+	otherRaw := Series{Name: "Other (raw)"}
+	selfBoth := Series{Name: "Self+LC (other LC)"}
+	otherLC := Series{Name: "Other+LC"}
+
+	run := func(extra int, otherUsesLC bool) (selfT, otherT float64) {
+		wSelf := workload.NewWorld(cfg.Seed, cfg.Contexts)
+		ctl := core.NewController(wSelf.P, core.Options{})
+		ctl.Start()
+		bSelf := workload.NewTM1(wSelf, workload.TM1Config{
+			Subscribers: cfg.Subscribers, Latch: core.Factory(ctl),
+		})
+		bSelf.Start(cfg.Contexts) // 100% offered load
+
+		var bOther *workload.TM1
+		if extra > 0 {
+			wOther := workload.NewWorldOn(wSelf.M, "other")
+			var latch locks.Factory
+			if otherUsesLC {
+				ctl2 := core.NewController(wOther.P, core.Options{})
+				ctl2.Start()
+				latch = core.Factory(ctl2)
+			} else {
+				latch = locks.NewTPMCS
+			}
+			bOther = workload.NewTM1(wOther, workload.TM1Config{
+				Subscribers: cfg.Subscribers, Latch: latch,
+			})
+			bOther.Start(extra)
+		}
+		wSelf.K.RunFor(cfg.Warmup)
+		s0 := bSelf.Completed()
+		var o0 uint64
+		if bOther != nil {
+			o0 = bOther.Completed()
+		}
+		wSelf.K.RunFor(cfg.Window)
+		selfT = float64(bSelf.Completed()-s0) / cfg.Window.Seconds()
+		if bOther != nil {
+			otherT = float64(bOther.Completed()-o0) / cfg.Window.Seconds()
+		}
+		return selfT, otherT
+	}
+
+	for _, extra := range extras {
+		x := 100 * float64(extra) / float64(cfg.Contexts)
+		sRaw, oRaw := run(extra, false)
+		sLC, oLC := run(extra, true)
+		selfLC.X = append(selfLC.X, x)
+		selfLC.Y = append(selfLC.Y, sRaw)
+		otherRaw.X = append(otherRaw.X, x)
+		otherRaw.Y = append(otherRaw.Y, oRaw)
+		selfBoth.X = append(selfBoth.X, x)
+		selfBoth.Y = append(selfBoth.Y, sLC)
+		otherLC.X = append(otherLC.X, x)
+		otherLC.Y = append(otherLC.Y, oLC)
+	}
+	fig.Series = []Series{selfLC, otherRaw, selfBoth, otherLC}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("self offers %d threads (100%% of %d contexts)", cfg.Contexts, cfg.Contexts))
+	return fig
+}

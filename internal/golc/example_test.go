@@ -1,0 +1,44 @@
+package golc_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/golc"
+)
+
+// ExampleMutex shows the intended usage: one controller per process,
+// any number of load-controlled mutexes attached to it.
+func ExampleMutex() {
+	ctl := golc.NewController(golc.Options{})
+	ctl.Start()
+	defer ctl.Stop()
+
+	mu := golc.NewMutex(ctl)
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 1600
+}
+
+// ExampleController_Stats shows reading controller activity.
+func ExampleController_Stats() {
+	ctl := golc.NewController(golc.Options{})
+	ctl.Start()
+	ctl.Stop()
+	s := ctl.Stats()
+	fmt.Println(s.Sleeping, s.Target)
+	// Output: 0 0
+}

@@ -1,0 +1,295 @@
+package golc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	ctl := NewController(Options{})
+	ctl.Start()
+	defer ctl.Stop()
+	mu := NewMutex(ctl)
+	const workers, iters = 8, 5000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*iters)
+	}
+}
+
+func TestSpinMutexMutualExclusion(t *testing.T) {
+	mu := NewSpinMutex()
+	const workers, iters = 8, 5000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	ctl := NewController(Options{})
+	mu := NewMutex(ctl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unlock of unlocked mutex")
+		}
+	}()
+	mu.Unlock()
+}
+
+func TestControllerClaimsUnderOversubscription(t *testing.T) {
+	// Many more spinning goroutines than procs, short controller
+	// interval: claims must happen.
+	ctl := NewController(Options{Interval: 500 * time.Microsecond})
+	ctl.Start()
+	defer ctl.Stop()
+	mu := NewMutex(ctl)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	n := 8 * runtime.GOMAXPROCS(0)
+	var ops atomic.Uint64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				// A critical section long enough to pile up spinners.
+				busy := time.Now().Add(2 * time.Microsecond)
+				for time.Now().Before(busy) {
+				}
+				mu.Unlock()
+				ops.Add(1)
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := ctl.Stats()
+	if s.Updates == 0 {
+		t.Fatal("controller never updated")
+	}
+	if s.Claims == 0 {
+		t.Fatal("no sleep-slot claims despite 8x oversubscription")
+	}
+	if ops.Load() == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestStopWakesSleepers(t *testing.T) {
+	ctl := NewController(Options{
+		Interval:     500 * time.Microsecond,
+		SleepTimeout: 10 * time.Second, // only a controller wake can end the sleep
+	})
+	ctl.Start()
+	mu := NewMutex(ctl)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8*runtime.GOMAXPROCS(0); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				busy := time.Now().Add(2 * time.Microsecond)
+				for time.Now().Before(busy) {
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	ctl.Stop() // must wake all sleepers so workers can observe stop
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("workers hung after Stop (sleepers not woken)")
+	}
+}
+
+func TestCustomLoadFunc(t *testing.T) {
+	var excess atomic.Int64
+	ctl := NewController(Options{
+		Interval: time.Millisecond,
+		LoadFunc: func() int { return int(excess.Load()) },
+	})
+	ctl.Start()
+	defer ctl.Stop()
+	mu := NewMutex(ctl)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4*runtime.GOMAXPROCS(0); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				busy := time.Now().Add(time.Microsecond)
+				for time.Now().Before(busy) {
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	excess.Store(4)
+	waitFor(t, "target=4", func() bool { return ctl.Stats().Target == 4 })
+	excess.Store(0)
+	waitFor(t, "sleeping=0", func() bool { return ctl.Stats().Sleeping == 0 })
+	close(stop)
+	wg.Wait()
+}
+
+// waitFor polls cond for up to 5s (the spinning workers can starve the
+// controller goroutine briefly, especially under -race).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition %q not reached within 5s", what)
+}
+
+func TestSleeperTimeoutPath(t *testing.T) {
+	ctl := NewController(Options{SleepTimeout: 20 * time.Millisecond})
+	// Don't start the daemon: force a target manually and claim.
+	ctl.setTarget(1)
+	s := ctl.trySleep()
+	if s == nil {
+		t.Fatal("claim failed with open target")
+	}
+	start := time.Now()
+	ctl.sleep(s)
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("sleep returned before timeout without a wake")
+	}
+	st := ctl.Stats()
+	if st.TimeoutWakes != 1 || st.Sleeping != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestControllerWakePath(t *testing.T) {
+	ctl := NewController(Options{SleepTimeout: 10 * time.Second})
+	ctl.setTarget(1)
+	s := ctl.trySleep()
+	if s == nil {
+		t.Fatal("claim failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		ctl.sleep(s)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ctl.setTarget(0) // must wake the sleeper promptly
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("controller wake did not release the sleeper")
+	}
+	if ctl.Stats().ControllerWakes != 1 {
+		t.Fatalf("stats = %+v", ctl.Stats())
+	}
+}
+
+func TestTrySleepRespectsTarget(t *testing.T) {
+	ctl := NewController(Options{})
+	if s := ctl.trySleep(); s != nil {
+		t.Fatal("claim succeeded with zero target")
+	}
+	ctl.setTarget(2)
+	s1 := ctl.trySleep()
+	s2 := ctl.trySleep()
+	s3 := ctl.trySleep()
+	if s1 == nil || s2 == nil {
+		t.Fatal("claims under target failed")
+	}
+	if s3 != nil {
+		t.Fatal("claim beyond target succeeded")
+	}
+}
+
+func TestSharedControllerAcrossMutexes(t *testing.T) {
+	ctl := NewController(Options{Interval: time.Millisecond})
+	ctl.Start()
+	defer ctl.Stop()
+	a, b := NewMutex(ctl), NewMutex(ctl)
+	var wg sync.WaitGroup
+	counter := [2]int{}
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				a.Lock()
+				counter[0]++
+				a.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				b.Lock()
+				counter[1]++
+				b.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter[0] != 8000 || counter[1] != 8000 {
+		t.Fatalf("counters = %v", counter)
+	}
+}

@@ -1,0 +1,99 @@
+package golc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Mutex is a load-controlled spinlock for real Go programs: a TATAS
+// spinlock whose spinners watch the controller's sleep slot buffer and
+// park when told the system is oversubscribed, exactly mirroring the
+// paper's augmented-spinlock client protocol (§3.1.2).
+//
+// A Mutex must be created with NewMutex; several Mutexes can share one
+// Controller (load control decisions are global, which is the point).
+type Mutex struct {
+	state atomic.Int32
+	ctl   *Controller
+}
+
+// NewMutex returns a mutex attached to ctl.
+func NewMutex(ctl *Controller) *Mutex {
+	if ctl == nil {
+		panic("golc: nil controller")
+	}
+	return &Mutex{ctl: ctl}
+}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() {
+	// Uncontended fast path.
+	if m.state.CompareAndSwap(0, 1) {
+		return
+	}
+	m.ctl.spinners.Add(1)
+	spins := 0
+	for {
+		// Test-and-test-and-set: wait for the line to go free first.
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
+			m.ctl.spinners.Add(-1)
+			return
+		}
+		spins++
+		// Check the sleep slot buffer while polling (the paper's
+		// interleaved spin loop, §3.2.3); the no-openings case is two
+		// atomic loads.
+		if spins%64 == 0 {
+			if s := m.ctl.trySleep(); s != nil {
+				m.ctl.spinners.Add(-1)
+				m.ctl.sleep(s)
+				// Restart the acquire as if we just arrived.
+				m.ctl.spinners.Add(1)
+				spins = 0
+				continue
+			}
+		}
+		if spins%256 == 0 {
+			// Cooperate with the Go scheduler: a hard spin can starve
+			// the lock holder's goroutine off its P.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	if m.state.Swap(0) != 1 {
+		panic("golc: unlock of unlocked mutex")
+	}
+}
+
+// SpinMutex is the uncontrolled baseline: the same TATAS spinlock with
+// no load control (only Gosched cooperation).
+type SpinMutex struct {
+	state atomic.Int32
+}
+
+// NewSpinMutex returns an uncontrolled spinlock.
+func NewSpinMutex() *SpinMutex { return &SpinMutex{} }
+
+// Lock acquires the spinlock.
+func (m *SpinMutex) Lock() {
+	spins := 0
+	for {
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
+			return
+		}
+		spins++
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the spinlock.
+func (m *SpinMutex) Unlock() {
+	if m.state.Swap(0) != 1 {
+		panic("golc: unlock of unlocked spin mutex")
+	}
+}

@@ -1,0 +1,246 @@
+package locks
+
+import (
+	"repro/internal/cpu"
+)
+
+// AdaptiveMutex models the Solaris adaptive mutex / pthread_mutex the
+// paper benchmarks as "blocking" (§2.2, Figures 1 and 4): a waiter spins
+// while the lock holder is running on a CPU, but blocks as soon as the
+// holder is descheduled or its spin patience runs out. Release leaves
+// the lock free and wakes one sleeper, which must retry (new arrivals
+// can barge). Under load, waiters exhaust patience, every handoff takes
+// a context switch, and the scheduler saturates.
+type AdaptiveMutex struct {
+	env          *Env
+	holder       *cpu.Thread
+	holderCancel func()
+	guard        holderGuard
+
+	spinners []*cpu.Thread
+	sleepers []*cpu.Thread
+
+	// Blocks counts waiter transitions to sleeping; Handoffs counts
+	// total releases. Their ratio shows the Figure 4 breakdown.
+	Blocks   uint64
+	Handoffs uint64
+}
+
+// NewAdaptiveMutex returns an adaptive (spin-then-block) mutex factory.
+func NewAdaptiveMutex(env *Env) Lock {
+	l := &AdaptiveMutex{env: env}
+	l.guard = holderGuard{env: env, spinners: l.forEachSpinner}
+	return l
+}
+
+// Name implements Lock.
+func (l *AdaptiveMutex) Name() string { return "adaptive-mutex" }
+
+func (l *AdaptiveMutex) forEachSpinner(fn func(*cpu.Thread)) {
+	for _, t := range l.spinners {
+		if t.Spinning() {
+			fn(t)
+		}
+	}
+}
+
+// Acquire implements Lock.
+func (l *AdaptiveMutex) Acquire(t *cpu.Thread) {
+	t.Compute(l.env.Costs.Acquire)
+	for {
+		if l.holder == nil {
+			l.setHolder(t)
+			return
+		}
+		if l.guard.holderPreempted() {
+			// Owner is off CPU: no point spinning, block directly.
+			l.block(t)
+			continue
+		}
+		// Spin with bounded patience while the owner runs.
+		l.spinners = append(l.spinners, t)
+		l.guard.markSpinner(t)
+		patience := l.env.M.K.After(l.env.Costs.AdaptivePatience, func() {
+			t.SpinWake(SpinPatience)
+		})
+		res := t.SpinWait()
+		l.env.M.K.Cancel(patience)
+		l.dropSpinner(t)
+		switch res {
+		case SpinGranted:
+			if l.holder == nil {
+				l.setHolder(t)
+				return
+			}
+			// Barged past: retry.
+		case SpinPatience, SpinHolderBlocked:
+			l.block(t)
+		}
+	}
+}
+
+// block parks the waiter until a releaser wakes it.
+func (l *AdaptiveMutex) block(t *cpu.Thread) {
+	l.Blocks++
+	t.Compute(l.env.Costs.ParkSyscall)
+	l.sleepers = append(l.sleepers, t)
+	t.Park(0)
+	// Woken by a release (or a stale wake): retry the acquire loop.
+}
+
+func (l *AdaptiveMutex) dropSpinner(t *cpu.Thread) {
+	for i, s := range l.spinners {
+		if s == t {
+			l.spinners = append(l.spinners[:i], l.spinners[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release implements Lock.
+func (l *AdaptiveMutex) Release(t *cpu.Thread) {
+	if l.holder != t {
+		panic("adaptive: release by non-holder")
+	}
+	l.Handoffs++
+	t.Compute(l.env.Costs.Release)
+	// A release with sleepers goes through the slow path: the waiters
+	// bit forces turnstile processing before the lock is observably
+	// free, so the wake syscall sits on the lock's critical path. This
+	// is the per-handoff cost that, once waiters start blocking, makes
+	// every handoff slower and drives the Figure 4 breakdown.
+	var woken *cpu.Thread
+	if len(l.sleepers) > 0 {
+		woken = l.sleepers[0]
+		l.sleepers = l.sleepers[1:]
+		t.Compute(l.env.Costs.UnparkSyscall)
+	}
+	l.setHolder(nil)
+	// Signal a running spinner: it reacts in cache-miss time and
+	// usually wins the race for the freed lock; the woken sleeper pays
+	// two context switches, retries, and usually loses to a barging
+	// spinner and blocks again — the scheduler-saturating churn.
+	var onCPU []*cpu.Thread
+	for _, s := range l.spinners {
+		if s.Spinning() && s.OnCPU() {
+			onCPU = append(onCPU, s)
+		}
+	}
+	if len(onCPU) > 0 {
+		w := onCPU[l.env.Rng.Intn(len(onCPU))]
+		l.env.M.K.After(l.env.M.Cfg.HandoffDelay, func() { w.SpinWake(SpinGranted) })
+	}
+	if woken != nil {
+		woken.Unpark()
+	}
+}
+
+// setHolder updates ownership and (re)installs the holder watch that
+// tells spinners to give up when the owner is descheduled (Solaris does
+// this check inside the spin loop itself).
+func (l *AdaptiveMutex) setHolder(t *cpu.Thread) {
+	if l.holderCancel != nil {
+		l.holderCancel()
+		l.holderCancel = nil
+	}
+	l.holder = t
+	l.guard.set(t)
+	if t != nil {
+		l.holderCancel = l.env.Watch(t,
+			func(*cpu.Thread) { l.notifyHolderBlocked() }, nil)
+	}
+}
+
+// notifyHolderBlocked tells running spinners to stop spinning because
+// the owner was descheduled.
+func (l *AdaptiveMutex) notifyHolderBlocked() {
+	for _, s := range l.spinners {
+		if s.Spinning() {
+			s.SpinWake(SpinHolderBlocked)
+		}
+	}
+}
+
+// BlockingMutex is a pure blocking mutex (no spin phase): every
+// contended acquire parks and every release wakes the FIFO head with a
+// direct handoff. Purely for reference; the paper notes such locks are
+// only used where spinning would deadlock.
+type BlockingMutex struct {
+	env      *Env
+	holder   *cpu.Thread
+	sleepers []*cpu.Thread
+}
+
+// NewBlockingMutex returns a pure blocking mutex factory.
+func NewBlockingMutex(env *Env) Lock { return &BlockingMutex{env: env} }
+
+// Name implements Lock.
+func (l *BlockingMutex) Name() string { return "blocking" }
+
+// Acquire implements Lock.
+func (l *BlockingMutex) Acquire(t *cpu.Thread) {
+	t.Compute(l.env.Costs.Acquire)
+	if l.holder == nil {
+		l.holder = t
+		return
+	}
+	t.Compute(l.env.Costs.ParkSyscall)
+	l.sleepers = append(l.sleepers, t)
+	for l.holder != t {
+		t.Park(0)
+	}
+}
+
+// Release implements Lock. Direct handoff: the woken thread owns the
+// lock when it runs (no barging).
+func (l *BlockingMutex) Release(t *cpu.Thread) {
+	if l.holder != t {
+		panic("blocking: release by non-holder")
+	}
+	t.Compute(l.env.Costs.Release)
+	if len(l.sleepers) == 0 {
+		l.holder = nil
+		return
+	}
+	w := l.sleepers[0]
+	l.sleepers = l.sleepers[1:]
+	l.holder = w
+	t.Compute(l.env.Costs.UnparkSyscall)
+	w.Unpark()
+}
+
+// SpinThenYield spins briefly, then repeatedly yields the CPU between
+// probes — using the scheduler as a backoff mechanism (paper §2.2's
+// spin-then-yield family).
+type SpinThenYield struct {
+	env   *Env
+	inner *TATAS
+}
+
+// NewSpinThenYield returns a spin-then-yield lock factory.
+func NewSpinThenYield(env *Env) Lock {
+	return &SpinThenYield{env: env, inner: newTATAS(env, false)}
+}
+
+// Name implements Lock.
+func (l *SpinThenYield) Name() string { return "spin-then-yield" }
+
+// Acquire implements Lock. Model: probe the inner lock's availability;
+// if it stays held past the patience window, yield and retry.
+func (l *SpinThenYield) Acquire(t *cpu.Thread) {
+	for {
+		if l.inner.holder == nil && len(l.inner.waiting) == 0 {
+			l.inner.Acquire(t)
+			return
+		}
+		// Spin for the patience window via a bounded wait, then yield.
+		t.Compute(l.env.Costs.AdaptivePatience)
+		if l.inner.holder == nil {
+			continue
+		}
+		t.Yield()
+	}
+}
+
+// Release implements Lock.
+func (l *SpinThenYield) Release(t *cpu.Thread) { l.inner.Release(t) }

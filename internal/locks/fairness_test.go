@@ -1,0 +1,150 @@
+package locks
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// acquireCounts runs n threads on one lock and returns per-thread
+// acquisition counts.
+func acquireCounts(seed uint64, f Factory, n int, dur time.Duration) []int {
+	h := newHarness(seed, n) // enough contexts that no preemption occurs
+	l := f(h.env)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.p.NewThread(fmt.Sprintf("w%d", i), func(t *cpu.Thread) {
+			for {
+				l.Acquire(t)
+				t.Compute(time.Microsecond)
+				counts[i]++
+				l.Release(t)
+				t.Compute(time.Microsecond)
+			}
+		})
+	}
+	h.k.RunFor(dur)
+	return counts
+}
+
+// TestQueueLocksAreFair: FIFO locks give every thread a near-equal share
+// under saturation.
+func TestQueueLocksAreFair(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Factory
+	}{
+		{"mcs", NewMCS},
+		{"ticket", NewTicket},
+		{"tp-mcs", NewTPMCS},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := acquireCounts(3, tc.f, 6, 40*time.Millisecond)
+			lo, hi := counts[0], counts[0]
+			for _, c := range counts {
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			if lo == 0 {
+				t.Fatalf("%s: a thread starved: %v", tc.name, counts)
+			}
+			if float64(hi) > 1.25*float64(lo) {
+				t.Fatalf("%s: unfair shares: %v", tc.name, counts)
+			}
+		})
+	}
+}
+
+// TestCentralizedLocksMakeProgressForAll: TATAS is unfair by design, but
+// nobody may starve outright over a long run.
+func TestCentralizedLocksMakeProgressForAll(t *testing.T) {
+	counts := acquireCounts(5, NewTATAS, 6, 60*time.Millisecond)
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("thread %d starved: %v", i, counts)
+		}
+	}
+}
+
+// TestBackoffReducesHerdCost: with many waiters, backoff's handoffs
+// avoid the linear herd penalty, so at high waiter counts it should not
+// be drastically slower than plain TATAS.
+func TestBackoffReducesHerdCost(t *testing.T) {
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	plain := sum(acquireCounts(7, NewTATAS, 16, 30*time.Millisecond))
+	backoff := sum(acquireCounts(7, NewBackoff, 16, 30*time.Millisecond))
+	if backoff < plain/3 {
+		t.Fatalf("backoff collapsed: %d vs plain %d", backoff, plain)
+	}
+	if plain == 0 || backoff == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+// TestSpinThenYieldSurvivesOverload: the yield loop must not livelock
+// when threads far outnumber contexts.
+func TestSpinThenYieldSurvivesOverload(t *testing.T) {
+	h := newHarness(9, 2)
+	l := NewSpinThenYield(h.env)
+	h.run(l, 8, 2*time.Microsecond, 5*time.Microsecond, 100*time.Millisecond)
+	if h.acquires < 500 {
+		t.Fatalf("spin-then-yield starved: %d acquires", h.acquires)
+	}
+	if h.maxInCS != 1 {
+		t.Fatal("exclusion violated")
+	}
+}
+
+// TestTPMCSRemovalCostOnCriticalPath: a release walking k preempted
+// waiters must consume k * TPRemoval of the releaser's CPU.
+func TestTPMCSRemovalCostOnCriticalPath(t *testing.T) {
+	h := newHarness(11, 8)
+	l := newTPMCS(h.env)
+	var releaseTime time.Duration
+	holder := h.p.NewThread("holder", func(t *cpu.Thread) {
+		l.Acquire(t)
+		t.Compute(30 * time.Millisecond) // waiters pile up and are parked below
+		start := h.k.Now()
+		l.Release(t)
+		releaseTime = time.Duration(h.k.Now() - start)
+	})
+	_ = holder
+	const waiters = 5
+	for i := 0; i < waiters; i++ {
+		h.p.NewThread(fmt.Sprintf("w%d", i), func(t *cpu.Thread) {
+			t.Compute(time.Millisecond)
+			l.Acquire(t)
+			l.Release(t)
+		})
+	}
+	// Evict all the waiters with real-time hogs just before the release
+	// so the releaser finds a queue full of preempted nodes.
+	h.k.After(25*time.Millisecond, func() {
+		for i := 0; i < 8; i++ {
+			rt := h.p.NewThread("evict", func(t *cpu.Thread) { t.Compute(20 * time.Millisecond) })
+			rt.SetRealtime(true)
+		}
+	})
+	h.k.RunFor(300 * time.Millisecond)
+	if l.Removals == 0 {
+		t.Skip("no removals; eviction construction failed")
+	}
+	minCost := time.Duration(l.Removals) * h.env.Costs.TPRemoval
+	if releaseTime < minCost {
+		t.Fatalf("release took %v, less than %d removals x %v",
+			releaseTime, l.Removals, h.env.Costs.TPRemoval)
+	}
+}

@@ -1,0 +1,148 @@
+package locks
+
+import (
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// TATAS is a centralized test-and-test-and-set spinlock, optionally with
+// exponential backoff. Without backoff, every release triggers a
+// thundering herd: all spinners race for the line, so the handoff delay
+// grows with the number of waiters. With backoff, herd traffic is
+// reduced but the winner may observe the release late (the fundamental
+// backoff trade-off, paper §2.2).
+type TATAS struct {
+	env     *Env
+	name    string
+	backoff bool
+
+	holder  *cpu.Thread
+	guard   holderGuard
+	waiting []*cpu.Thread
+	window  time.Duration // current adaptive backoff window
+}
+
+// NewTATAS returns a plain test-and-test-and-set spinlock factory.
+func NewTATAS(env *Env) Lock { return newTATAS(env, false) }
+
+// NewBackoff returns a TATAS-with-exponential-backoff factory.
+func NewBackoff(env *Env) Lock { return newTATAS(env, true) }
+
+func newTATAS(env *Env, backoff bool) *TATAS {
+	l := &TATAS{env: env, backoff: backoff, window: env.Costs.BackoffBase}
+	l.name = "tatas"
+	if backoff {
+		l.name = "tatas-backoff"
+	}
+	l.guard = holderGuard{env: env, spinners: l.forEachSpinner}
+	return l
+}
+
+// Name implements Lock.
+func (l *TATAS) Name() string { return l.name }
+
+func (l *TATAS) forEachSpinner(fn func(*cpu.Thread)) {
+	for _, t := range l.waiting {
+		if t.Spinning() {
+			fn(t)
+		}
+	}
+}
+
+// Acquire implements Lock.
+func (l *TATAS) Acquire(t *cpu.Thread) {
+	t.Compute(l.env.Costs.Acquire)
+	for {
+		if l.holder == nil {
+			l.holder = t
+			l.guard.set(t)
+			return
+		}
+		l.waiting = append(l.waiting, t)
+		if l.backoff {
+			// Contention grows the window.
+			l.window *= 2
+			if l.window > l.env.Costs.BackoffMax {
+				l.window = l.env.Costs.BackoffMax
+			}
+		}
+		l.guard.markSpinner(t)
+		res := t.SpinWait()
+		l.removeWaiter(t)
+		if res == SpinGranted && l.holder == nil {
+			// We won the race for the freed lock.
+			l.holder = t
+			l.guard.set(t)
+			return
+		}
+		// Lost the race (barging or a faster spinner): spin again.
+	}
+}
+
+func (l *TATAS) removeWaiter(t *cpu.Thread) {
+	for i, w := range l.waiting {
+		if w == t {
+			l.waiting = append(l.waiting[:i], l.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release implements Lock.
+func (l *TATAS) Release(t *cpu.Thread) {
+	if l.holder != t {
+		panic("tatas: release by non-holder")
+	}
+	t.Compute(l.env.Costs.Release)
+	l.holder = nil
+	l.guard.set(nil)
+	if l.backoff {
+		// Successful handoffs shrink the window.
+		l.window /= 2
+		if l.window < l.env.Costs.BackoffBase {
+			l.window = l.env.Costs.BackoffBase
+		}
+	}
+	l.wakeWinner()
+}
+
+// wakeWinner picks the spinner that observes the release first. On-CPU
+// spinners react in cache-miss time; preempted spinners only react when
+// rescheduled, so they are chosen only if no one else can win.
+func (l *TATAS) wakeWinner() {
+	var onCPU []*cpu.Thread
+	for _, w := range l.waiting {
+		if w.Spinning() && w.OnCPU() {
+			onCPU = append(onCPU, w)
+		}
+	}
+	pick := func(set []*cpu.Thread) *cpu.Thread {
+		return set[l.env.Rng.Intn(len(set))]
+	}
+	m := l.env.M
+	if len(onCPU) > 0 {
+		winner := pick(onCPU)
+		delay := m.Cfg.HandoffDelay
+		if !l.backoff {
+			// Thundering herd: coherence traffic scales with waiters.
+			delay += time.Duration(len(onCPU)-1) * l.env.Costs.HerdPenalty
+		} else {
+			// The winner may be deep in a backoff pause.
+			delay += time.Duration(l.env.Rng.Intn(int(l.window) + 1))
+		}
+		m.K.After(delay, func() { winner.SpinWake(SpinGranted) })
+		return
+	}
+	// Only preempted spinners remain: deliver to one; it will proceed
+	// when the scheduler dispatches it again.
+	var any []*cpu.Thread
+	for _, w := range l.waiting {
+		if w.Spinning() {
+			any = append(any, w)
+		}
+	}
+	if len(any) > 0 {
+		pick(any).SpinWake(SpinGranted)
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelClockStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if k.Now() != 0 {
+		t.Fatalf("new kernel clock = %d, want 0", k.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.After(30*time.Nanosecond, func() { order = append(order, 3) })
+	k.After(10*time.Nanosecond, func() { order = append(order, 1) })
+	k.After(20*time.Nanosecond, func() { order = append(order, 2) })
+	k.Drain()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", k.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(5*time.Nanosecond, func() { order = append(order, i) })
+	}
+	k.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO at equal times)", i, v, i)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.After(10*time.Nanosecond, func() { fired = true })
+	if !k.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if k.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	k.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, k.After(time.Duration(i)*time.Nanosecond, func() { order = append(order, i) }))
+	}
+	// Cancel all odd events.
+	for i := 1; i < 20; i += 2 {
+		k.Cancel(evs[i])
+	}
+	k.Drain()
+	want := 0
+	for _, v := range order {
+		if v != want {
+			t.Fatalf("got %d, want %d", v, want)
+		}
+		want += 2
+	}
+	if want != 20 {
+		t.Fatalf("fired %d events, want 10", len(order))
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(1000)
+	if k.Now() != 1000 {
+		t.Fatalf("clock = %d, want 1000", k.Now())
+	}
+}
+
+func TestRunUntilDoesNotPassBoundary(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	k.At(50, func() { fired = append(fired, 50) })
+	k.At(150, func() { fired = append(fired, 150) })
+	k.RunUntil(100)
+	if len(fired) != 1 || fired[0] != 50 {
+		t.Fatalf("fired = %v, want [50]", fired)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", k.Now())
+	}
+	k.RunUntil(200)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both", fired)
+	}
+}
+
+func TestEventAtBoundaryFires(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.At(100, func() { fired = true })
+	k.RunUntil(100)
+	if !fired {
+		t.Fatal("event at exactly the RunUntil boundary did not fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(50, func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	var hits []Time
+	k.After(10, func() {
+		hits = append(hits, k.Now())
+		k.After(10, func() { hits = append(hits, k.Now()) })
+	})
+	k.Drain()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 20 {
+		t.Fatalf("hits = %v, want [10 20]", hits)
+	}
+}
+
+func TestZeroDelayEventFiresAtSameTime(t *testing.T) {
+	k := NewKernel(1)
+	var at Time = -1
+	k.After(5, func() {
+		k.After(0, func() { at = k.Now() })
+	})
+	k.Drain()
+	if at != 5 {
+		t.Fatalf("zero-delay event fired at %d, want 5", at)
+	}
+}
+
+func TestSteppedCounter(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.After(Duration(i), func() {})
+	}
+	k.Drain()
+	if k.Stepped != 7 {
+		t.Fatalf("Stepped = %d, want 7", k.Stepped)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		k := NewKernel(42)
+		var vals []uint64
+		for i := 0; i < 50; i++ {
+			d := Duration(k.Rand().Intn(1000))
+			k.After(d, func() { vals = append(vals, k.Rand().Uint64()) })
+		}
+		k.Drain()
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}

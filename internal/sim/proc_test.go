@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time = -1
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100 * time.Nanosecond)
+		woke = k.Now()
+	})
+	k.Drain()
+	if woke != 100 {
+		t.Fatalf("woke at %d, want 100", woke)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	k := NewKernel(1)
+	var marks []Time
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			marks = append(marks, k.Now())
+		}
+	})
+	k.Drain()
+	for i, m := range marks {
+		if m != Time((i+1)*10) {
+			t.Fatalf("marks[%d] = %d, want %d", i, m, (i+1)*10)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20) // wakes at 30
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, "b20")
+		p.Sleep(20) // wakes at 40
+		order = append(order, "b40")
+	})
+	k.Drain()
+	want := []string{"a10", "b20", "a30", "b40"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParkAndDeferredUnpark(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time = -1
+	p := k.Spawn("parker", func(p *Proc) {
+		if sig := p.Park(); sig != WakeSignal {
+			t.Errorf("sig = %v, want WakeSignal", sig)
+		}
+		woke = k.Now()
+	})
+	k.After(500, func() { p.UnparkDeferred() })
+	k.Drain()
+	if woke != 500 {
+		t.Fatalf("woke at %d, want 500", woke)
+	}
+}
+
+func TestParkTimeoutExpires(t *testing.T) {
+	k := NewKernel(1)
+	var sig procSignal
+	var woke Time
+	k.Spawn("p", func(p *Proc) {
+		sig = p.ParkTimeout(250)
+		woke = k.Now()
+	})
+	k.Drain()
+	if sig != WakeTimeout {
+		t.Fatalf("sig = %v, want WakeTimeout", sig)
+	}
+	if woke != 250 {
+		t.Fatalf("woke at %d, want 250", woke)
+	}
+}
+
+func TestParkTimeoutUnparkedEarly(t *testing.T) {
+	k := NewKernel(1)
+	var sig procSignal
+	var woke Time
+	p := k.Spawn("p", func(p *Proc) {
+		sig = p.ParkTimeout(1000)
+		woke = k.Now()
+	})
+	k.After(100, func() { p.UnparkDeferred() })
+	k.Drain()
+	if sig != WakeSignal {
+		t.Fatalf("sig = %v, want WakeSignal", sig)
+	}
+	if woke != 100 {
+		t.Fatalf("woke at %d, want 100", woke)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("timeout event leaked: %d pending", k.Pending())
+	}
+}
+
+func TestParkAtPastDeadlineReturnsImmediately(t *testing.T) {
+	k := NewKernel(1)
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(100)
+		if sig := p.ParkAt(50); sig != WakeTimeout {
+			t.Errorf("sig = %v, want WakeTimeout", sig)
+		}
+		done = true
+	})
+	k.Drain()
+	if !done {
+		t.Fatal("proc did not finish")
+	}
+}
+
+func TestProcDoneFlag(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Spawn("p", func(p *Proc) { p.Sleep(10) })
+	if p.Done() {
+		t.Fatal("done before running")
+	}
+	k.Drain()
+	if !p.Done() {
+		t.Fatal("not done after drain")
+	}
+}
+
+func TestUnparkDeferredOnFinishedProcIsNoop(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Spawn("p", func(p *Proc) {})
+	k.After(10, func() { p.UnparkDeferred() })
+	k.Drain() // must not panic
+}
+
+func TestManyProcsNoLeak(t *testing.T) {
+	k := NewKernel(1)
+	const n = 200
+	finished := 0
+	for i := 0; i < n; i++ {
+		d := Duration(i)
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(d)
+			finished++
+		})
+	}
+	k.Drain()
+	if finished != n {
+		t.Fatalf("finished = %d, want %d", finished, n)
+	}
+	if k.procs != 0 {
+		t.Fatalf("proc leak: %d live", k.procs)
+	}
+}
+
+func TestProcToProcUnpark(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	var a *Proc
+	a = k.Spawn("a", func(p *Proc) {
+		p.Park()
+		order = append(order, "a-woke")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(100)
+		order = append(order, "b-unparks")
+		a.UnparkDeferred()
+		p.Sleep(1)
+		order = append(order, "b-after")
+	})
+	k.Drain()
+	want := []string{"b-unparks", "a-woke", "b-after"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 coincide %d/100 times", same)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		seen[r.Intn(10)] = true
+	}
+	for v := 0; v < 10; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(6)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(8)
+	const mean = 100 * time.Microsecond
+	var sum time.Duration
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := r.Exp(mean)
+		if d < 0 {
+			t.Fatalf("negative exponential draw %v", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n
+	if math.Abs(got-float64(mean)) > 0.02*float64(mean) {
+		t.Fatalf("exp mean = %v, want ~%v", time.Duration(got), mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := NewRNG(9)
+	if r.Exp(0) != 0 || r.Exp(-5) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 1000; i++ {
+		d := r.Duration(10, 20)
+		if d < 10 || d > 20 {
+			t.Fatalf("Duration = %v out of [10,20]", d)
+		}
+	}
+	if r.Duration(30, 10) != 30 {
+		t.Fatal("inverted bounds should return lo")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(12)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams coincide %d/100 times", same)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestRandomEventSoup schedules a randomized mix of events, cancels,
+// and nested re-schedules, then verifies global ordering invariants:
+// the clock never goes backwards and every fired event fired at its
+// scheduled time.
+func TestRandomEventSoup(t *testing.T) {
+	err := quick.Check(func(seed uint64, nOps uint8) bool {
+		k := NewKernel(seed)
+		r := NewRNG(seed + 1)
+		type rec struct {
+			want Time
+			got  Time
+		}
+		var fired []rec
+		var cancellable []*Event
+		var lastNow Time
+		schedule := func(base Time) {
+			d := Duration(r.Intn(1000))
+			at := base + Time(d)
+			var e *Event
+			e = k.At(at, func() {
+				fired = append(fired, rec{want: at, got: k.Now()})
+				if k.Now() < lastNow {
+					t.Error("clock went backwards")
+				}
+				lastNow = k.Now()
+				// Sometimes schedule more work from inside.
+				if r.Intn(3) == 0 {
+					dd := Duration(r.Intn(500))
+					at2 := k.Now() + Time(dd)
+					k.At(at2, func() {
+						fired = append(fired, rec{want: at2, got: k.Now()})
+					})
+				}
+			})
+			if r.Intn(4) == 0 {
+				cancellable = append(cancellable, e)
+			}
+		}
+		for i := 0; i < int(nOps)+5; i++ {
+			schedule(k.Now())
+		}
+		// Cancel a few before running.
+		for _, e := range cancellable {
+			if r.Intn(2) == 0 {
+				k.Cancel(e)
+			}
+		}
+		k.Drain()
+		for _, f := range fired {
+			if f.want != f.got {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyProcsRandomSleeps interleaves dozens of procs with random
+// sleeps and parks; at the end no proc may be left running and all
+// events must have drained.
+func TestManyProcsRandomSleeps(t *testing.T) {
+	k := NewKernel(99)
+	const n = 64
+	finished := 0
+	var procs []*Proc
+	for i := 0; i < n; i++ {
+		r := k.Rand().Fork()
+		p := k.Spawn("p", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				switch r.Intn(3) {
+				case 0:
+					p.Sleep(Duration(r.Intn(int(time.Millisecond))))
+				case 1:
+					p.ParkTimeout(Duration(r.Intn(int(time.Millisecond)) + 1))
+				case 2:
+					p.Sleep(Duration(r.Intn(1000)))
+				}
+			}
+			finished++
+		})
+		procs = append(procs, p)
+	}
+	k.Drain()
+	if finished != n {
+		t.Fatalf("finished = %d, want %d", finished, n)
+	}
+	for _, p := range procs {
+		if !p.Done() {
+			t.Fatal("proc not done after drain")
+		}
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("events leaked: %d", k.Pending())
+	}
+}
+
+// TestEventStormThroughput guards against accidental quadratic behaviour
+// in the event heap: 200k events must process quickly.
+func TestEventStormThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event storm")
+	}
+	k := NewKernel(7)
+	r := NewRNG(8)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k.At(Time(r.Intn(1<<30)), func() {})
+	}
+	start := time.Now()
+	k.Drain()
+	if k.Stepped != n {
+		t.Fatalf("stepped %d, want %d", k.Stepped, n)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("200k events took %v; heap degraded?", elapsed)
+	}
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// ErrLockTimeout is returned when a logical lock wait exceeds the
+// engine's timeout (the deadlock-resolution policy: abort and retry).
+var ErrLockTimeout = errors.New("storage: lock wait timeout")
+
+// LockMode is a logical lock mode.
+type LockMode int
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+// lockID names a lockable resource: a (table, key) pair.
+type lockID struct {
+	table string
+	key   uint64
+}
+
+// dbLock is one logical lock: granted group + FIFO wait queue. Waiters
+// block (park) — database transactions hold locks for far too long for
+// spinning to make sense, which is why the paper's "logical contention"
+// workloads stress the scheduler differently.
+type dbLock struct {
+	holders map[*Txn]LockMode
+	waiters []*lockWaiter
+}
+
+type lockWaiter struct {
+	txn     *Txn
+	mode    LockMode
+	granted bool
+	timeout bool
+}
+
+// lockManager is the engine's logical lock table. A striped set of
+// latches protects the table itself — lock-manager latching is one of
+// the big physical contention sources inside database engines.
+type lockManager struct {
+	e       *Engine
+	latches []locks.Lock
+	locks   map[lockID]*dbLock
+}
+
+func newLockManager(e *Engine) *lockManager {
+	lm := &lockManager{e: e, locks: make(map[lockID]*dbLock)}
+	for i := 0; i < 16; i++ {
+		lm.latches = append(lm.latches, e.cfg.Latch(e.env))
+	}
+	return lm
+}
+
+func (lm *lockManager) latchFor(id lockID) locks.Lock {
+	h := id.key*0x9e3779b97f4a7c15 + uint64(len(id.table))
+	return lm.latches[h%uint64(len(lm.latches))]
+}
+
+func compatible(held, want LockMode) bool {
+	return held == Shared && want == Shared
+}
+
+// acquire takes a logical lock for txn, blocking if incompatible. It
+// returns ErrLockTimeout if the wait exceeds the engine timeout.
+func (lm *lockManager) acquire(txn *Txn, id lockID, mode LockMode) error {
+	th := txn.th
+	latch := lm.latchFor(id)
+	latch.Acquire(th)
+	th.Compute(lm.e.cfg.Costs.LockMgr)
+	l := lm.locks[id]
+	if l == nil {
+		l = &dbLock{holders: make(map[*Txn]LockMode)}
+		lm.locks[id] = l
+	}
+	// Re-entrant: upgrade in place when alone, else treat as wait.
+	if held, ok := l.holders[txn]; ok {
+		if held == Exclusive || mode == Shared {
+			latch.Release(th)
+			return nil
+		}
+		if len(l.holders) == 1 {
+			l.holders[txn] = Exclusive
+			latch.Release(th)
+			return nil
+		}
+	}
+	if lm.grantable(l, txn, mode) && len(l.waiters) == 0 {
+		l.holders[txn] = mode
+		latch.Release(th)
+		return nil
+	}
+	// Enqueue and block.
+	w := &lockWaiter{txn: txn, mode: mode}
+	l.waiters = append(l.waiters, w)
+	latch.Release(th)
+
+	deadline := lm.e.env.M.K.Now() + sim.Time(lm.e.cfg.LockWaitTimeout)
+	for !w.granted {
+		left := time.Duration(deadline - lm.e.env.M.K.Now())
+		if left <= 0 {
+			w.timeout = true
+			break
+		}
+		th.Park(left)
+	}
+
+	latch.Acquire(th)
+	if !w.granted {
+		// Timed out: remove ourselves from the queue.
+		for i, q := range l.waiters {
+			if q == w {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				break
+			}
+		}
+		latch.Release(th)
+		lm.e.LockTimeouts++
+		return ErrLockTimeout
+	}
+	latch.Release(th)
+	return nil
+}
+
+// grantable reports whether txn may take mode given current holders.
+func (lm *lockManager) grantable(l *dbLock, txn *Txn, mode LockMode) bool {
+	for h, held := range l.holders {
+		if h == txn {
+			continue
+		}
+		if !compatible(held, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// release drops all of txn's logical locks and wakes newly grantable
+// waiters (FIFO, stopping at the first incompatible waiter).
+func (lm *lockManager) release(txn *Txn) {
+	th := txn.th
+	for _, id := range txn.held {
+		latch := lm.latchFor(id)
+		latch.Acquire(th)
+		th.Compute(lm.e.cfg.Costs.LockMgr)
+		l := lm.locks[id]
+		if l == nil {
+			latch.Release(th)
+			continue
+		}
+		delete(l.holders, txn)
+		// Grant the longest-waiting compatible prefix.
+		for len(l.waiters) > 0 {
+			w := l.waiters[0]
+			if !lm.grantable(l, w.txn, w.mode) {
+				break
+			}
+			l.waiters = l.waiters[1:]
+			l.holders[w.txn] = w.mode
+			w.granted = true
+			w.txn.th.Unpark()
+		}
+		if len(l.holders) == 0 && len(l.waiters) == 0 {
+			delete(lm.locks, id)
+		}
+		latch.Release(th)
+	}
+	txn.held = txn.held[:0]
+}

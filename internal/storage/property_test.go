@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// TestSerializedTransfersConserveMoney is the classic bank invariant:
+// concurrent transfers between accounts, with aborts and retries, must
+// conserve the total balance under every latch type and heavy
+// preemption.
+func TestSerializedTransfersConserveMoney(t *testing.T) {
+	for _, latch := range []struct {
+		name string
+		fac  locks.Factory
+	}{
+		{"tpmcs", locks.NewTPMCS},
+		{"adaptive", locks.NewAdaptiveMutex},
+	} {
+		t.Run(latch.name, func(t *testing.T) {
+			k := sim.NewKernel(77)
+			m := cpu.NewMachine(k, cpu.Config{Contexts: 2})
+			p := m.NewProcess("bank")
+			e := NewEngine(locks.NewEnv(m), Config{Latch: latch.fac, LockWaitTimeout: 5 * time.Millisecond})
+			tb := e.CreateTable("acct")
+			const nAccounts = 8
+			const initial = 1000
+			for i := uint64(1); i <= nAccounts; i++ {
+				tb.Load(i, Row{initial})
+			}
+			for w := 0; w < 6; w++ {
+				r := k.Rand().Fork()
+				p.NewThread(fmt.Sprintf("w%d", w), func(th *cpu.Thread) {
+					for i := 0; i < 40; i++ {
+						from := uint64(r.Intn(nAccounts) + 1)
+						to := uint64(r.Intn(nAccounts) + 1)
+						if from == to {
+							continue
+						}
+						amt := int64(r.Intn(100))
+						// Canonical lock order prevents deadlock.
+						a, b := from, to
+						if b < a {
+							a, b = b, a
+						}
+						x := e.Begin(th)
+						if err := x.Lock("acct", a, Exclusive); err != nil {
+							x.Abort()
+							i--
+							continue
+						}
+						if err := x.Lock("acct", b, Exclusive); err != nil {
+							x.Abort()
+							i--
+							continue
+						}
+						ok1, _ := x.Update("acct", from, func(row Row) Row {
+							row[0] -= amt
+							return row
+						})
+						ok2, _ := x.Update("acct", to, func(row Row) Row {
+							row[0] += amt
+							return row
+						})
+						if !ok1 || !ok2 {
+							x.Abort()
+							continue
+						}
+						// Abort a fraction of transactions on purpose:
+						// rollback must restore both sides.
+						if r.Intn(5) == 0 {
+							x.Abort()
+						} else {
+							x.Commit()
+						}
+					}
+				})
+			}
+			k.RunFor(10 * time.Second)
+			total := int64(0)
+			for i := uint64(1); i <= nAccounts; i++ {
+				r, ok := tb.bucketFor(i).rows[i]
+				if !ok {
+					t.Fatalf("account %d vanished", i)
+				}
+				total += r[0]
+			}
+			if total != nAccounts*initial {
+				t.Fatalf("money not conserved: %d != %d", total, nAccounts*initial)
+			}
+		})
+	}
+}
+
+// TestUndoIsExactInverse: random op sequences applied then aborted leave
+// the table bit-identical.
+func TestUndoIsExactInverse(t *testing.T) {
+	err := quick.Check(func(ops []uint8, keys []uint8) bool {
+		if len(keys) == 0 {
+			keys = []uint8{1}
+		}
+		k := sim.NewKernel(5)
+		m := cpu.NewMachine(k, cpu.Config{Contexts: 2})
+		p := m.NewProcess("p")
+		e := NewEngine(locks.NewEnv(m), Config{})
+		tb := e.CreateTable("t")
+		for i := uint64(1); i <= 16; i++ {
+			tb.Load(i, Row{int64(i) * 10})
+		}
+		snapshot := func() map[uint64]int64 {
+			s := make(map[uint64]int64)
+			for _, b := range tb.buckets {
+				for k, r := range b.rows {
+					s[k] = r[0]
+				}
+			}
+			return s
+		}
+		before := snapshot()
+		ok := true
+		p.NewThread("mutator", func(th *cpu.Thread) {
+			x := e.Begin(th)
+			for i, op := range ops {
+				key := uint64(keys[i%len(keys)]%20) + 1 // may be absent
+				switch op % 3 {
+				case 0:
+					x.Update("t", key, func(r Row) Row { r[0]++; return r })
+				case 1:
+					x.Insert("t", key+100, Row{int64(op)})
+				case 2:
+					x.Delete("t", key)
+				}
+			}
+			x.Abort()
+			after := snapshot()
+			if len(after) != len(before) {
+				ok = false
+				return
+			}
+			for k, v := range before {
+				if after[k] != v {
+					ok = false
+					return
+				}
+			}
+		})
+		k.RunFor(10 * time.Second)
+		return ok
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockManagerNoLostWakeups: many waiters on one exclusive lock; the
+// holder releases; all waiters must eventually acquire, FIFO-compatibly.
+func TestLockManagerNoLostWakeups(t *testing.T) {
+	k := sim.NewKernel(13)
+	m := cpu.NewMachine(k, cpu.Config{Contexts: 4})
+	p := m.NewProcess("p")
+	e := NewEngine(locks.NewEnv(m), Config{LockWaitTimeout: time.Second})
+	tb := e.CreateTable("t")
+	tb.Load(1, Row{0})
+	const waiters = 12
+	got := 0
+	for i := 0; i < waiters; i++ {
+		p.NewThread(fmt.Sprintf("w%d", i), func(th *cpu.Thread) {
+			x := e.Begin(th)
+			if _, err := x.Update("t", 1, func(r Row) Row { r[0]++; return r }); err != nil {
+				x.Abort()
+				return
+			}
+			th.Compute(200 * time.Microsecond)
+			x.Commit()
+			got++
+		})
+	}
+	k.RunFor(5 * time.Second)
+	if got != waiters {
+		t.Fatalf("only %d/%d waiters completed", got, waiters)
+	}
+	if v := tb.bucketFor(1).rows[1][0]; v != waiters {
+		t.Fatalf("row = %d, want %d", v, waiters)
+	}
+}

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/locks"
+)
+
+// Table is a hash-indexed heap of rows keyed by uint64. Each bucket has
+// its own latch; the bucket count controls physical contention.
+type Table struct {
+	e       *Engine
+	name    string
+	buckets []*bucket
+}
+
+type bucket struct {
+	latch locks.Lock
+	rows  map[uint64]Row
+}
+
+func newTable(e *Engine, name string, nb int) *Table {
+	t := &Table{e: e, name: name}
+	for i := 0; i < nb; i++ {
+		t.buckets = append(t.buckets, &bucket{
+			latch: e.cfg.Latch(e.env),
+			rows:  make(map[uint64]Row),
+		})
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+func (t *Table) bucketFor(key uint64) *bucket {
+	// Fibonacci hashing spreads sequential keys across buckets.
+	h := key * 0x9e3779b97f4a7c15
+	return t.buckets[h%uint64(len(t.buckets))]
+}
+
+// Load inserts a row without latching or logging — setup only, before
+// the simulation starts.
+func (t *Table) Load(key uint64, row Row) {
+	t.bucketFor(key).rows[key] = row.clone()
+}
+
+// Size returns the total row count (unlatched; setup/verification only).
+func (t *Table) Size() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b.rows)
+	}
+	return n
+}
+
+// get reads a row under the bucket latch, charging read cost.
+func (t *Table) get(th *cpu.Thread, key uint64) (Row, bool) {
+	b := t.bucketFor(key)
+	b.latch.Acquire(th)
+	th.Compute(t.e.cfg.Costs.LatchedRead)
+	r, ok := b.rows[key]
+	if ok {
+		r = r.clone()
+	}
+	b.latch.Release(th)
+	return r, ok
+}
+
+// put writes a row under the bucket latch, charging update cost, and
+// returns the before-image (nil if the key was absent).
+func (t *Table) put(th *cpu.Thread, key uint64, row Row) (Row, bool) {
+	b := t.bucketFor(key)
+	b.latch.Acquire(th)
+	th.Compute(t.e.cfg.Costs.LatchedWrite)
+	old, existed := b.rows[key]
+	b.rows[key] = row.clone()
+	b.latch.Release(th)
+	return old, existed
+}
+
+// insert adds a row if absent, charging insert cost. Reports success.
+func (t *Table) insert(th *cpu.Thread, key uint64, row Row) bool {
+	b := t.bucketFor(key)
+	b.latch.Acquire(th)
+	th.Compute(t.e.cfg.Costs.LatchedWrite)
+	if _, dup := b.rows[key]; dup {
+		b.latch.Release(th)
+		return false
+	}
+	b.rows[key] = row.clone()
+	b.latch.Release(th)
+	return true
+}
+
+// del removes a row, charging delete cost, returning the before-image.
+func (t *Table) del(th *cpu.Thread, key uint64) (Row, bool) {
+	b := t.bucketFor(key)
+	b.latch.Acquire(th)
+	th.Compute(t.e.cfg.Costs.LatchedWrite)
+	old, ok := b.rows[key]
+	if ok {
+		delete(b.rows, key)
+	}
+	b.latch.Release(th)
+	return old, ok
+}
+
+// restore undoes a change without charging user-level costs (abort path
+// charges once at the transaction level).
+func (t *Table) restore(th *cpu.Thread, key uint64, old Row, existed bool) {
+	b := t.bucketFor(key)
+	b.latch.Acquire(th)
+	if existed {
+		b.rows[key] = old
+	} else {
+		delete(b.rows, key)
+	}
+	b.latch.Release(th)
+}

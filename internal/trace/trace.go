@@ -1,0 +1,115 @@
+// Package trace is the reproduction's DTrace stand-in: named counters
+// and a bounded event ring recorded from inside the simulation with zero
+// probe effect (observation consumes no simulated time).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing named count.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   int64 // virtual time, ns
+	Kind string
+	Arg  int64
+}
+
+// Recorder holds counters and a bounded ring of events.
+type Recorder struct {
+	counters map[string]*Counter
+	ring     []Event
+	head     int
+	full     bool
+	cap      int
+	Dropped  uint64
+}
+
+// NewRecorder creates a recorder whose event ring holds cap events
+// (older events are overwritten).
+func NewRecorder(cap int) *Recorder {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Recorder{counters: make(map[string]*Counter), ring: make([]Event, 0, cap), cap: cap}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Recorder) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (r *Recorder) Record(at int64, kind string, arg int64) {
+	e := Event{At: at, Kind: kind, Arg: arg}
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, e)
+		return
+	}
+	r.ring[r.head] = e
+	r.head = (r.head + 1) % r.cap
+	r.full = true
+	r.Dropped++
+}
+
+// Events returns recorded events in time order.
+func (r *Recorder) Events() []Event {
+	if !r.full {
+		out := make([]Event, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out
+}
+
+// EventsOf returns events of one kind in time order.
+func (r *Recorder) EventsOf(kind string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary renders all counters sorted by name.
+func (r *Recorder) Summary() string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", n, r.counters[n].n)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRecorder(8)
+	c := r.Counter("switches")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if r.Counter("switches") != c {
+		t.Fatal("counter not reused")
+	}
+	if r.Counter("other").Value() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+}
+
+func TestEventsInOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := int64(0); i < 5; i++ {
+		r.Record(i*10, "e", i)
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Arg != int64(i) {
+			t.Fatalf("event %d arg = %d", i, e.Arg)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		r.Record(i, "e", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	if evs[0].Arg != 6 || evs[3].Arg != 9 {
+		t.Fatalf("ring kept wrong events: %v", evs)
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped)
+	}
+}
+
+func TestEventsOfFilters(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(1, "a", 0)
+	r.Record(2, "b", 0)
+	r.Record(3, "a", 0)
+	if got := len(r.EventsOf("a")); got != 2 {
+		t.Fatalf("EventsOf(a) = %d", got)
+	}
+	if got := len(r.EventsOf("c")); got != 0 {
+		t.Fatalf("EventsOf(c) = %d", got)
+	}
+}
+
+func TestSummarySorted(t *testing.T) {
+	r := NewRecorder(4)
+	r.Counter("zeta").Inc()
+	r.Counter("alpha").Add(3)
+	s := r.Summary()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "zeta") {
+		t.Fatalf("summary missing counters: %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatal("summary not sorted")
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+)
+
+// Micro is the paper's microbenchmark (§4): M threads repeatedly acquire
+// one global lock, execute a tiny critical section (a gethrtime call,
+// 40-80ns), release, and busy-wait a fixed delay before trying again.
+type Micro struct {
+	w    *World
+	lock locks.Lock
+
+	// CSLen is the critical-section length (default 60ns).
+	CSLen time.Duration
+	// Delay is the busy-wait between acquires (default 25µs).
+	Delay time.Duration
+
+	completed uint64
+}
+
+// NewMicro builds the microbenchmark over one lock from f.
+func NewMicro(w *World, f locks.Factory) *Micro {
+	return &Micro{
+		w:     w,
+		lock:  f(w.Env),
+		CSLen: 60 * time.Nanosecond,
+		Delay: 25 * time.Microsecond,
+	}
+}
+
+// Name implements Driver.
+func (b *Micro) Name() string { return "micro" }
+
+// Lock exposes the lock under test.
+func (b *Micro) Lock() locks.Lock { return b.lock }
+
+// Completed implements Driver.
+func (b *Micro) Completed() uint64 { return b.completed }
+
+// Start implements Driver.
+func (b *Micro) Start(n int) {
+	for i := 0; i < n; i++ {
+		b.w.P.NewThread(fmt.Sprintf("micro%d", i), func(t *cpu.Thread) {
+			for {
+				b.lock.Acquire(t)
+				t.Compute(b.CSLen)
+				b.lock.Release(t)
+				b.completed++
+				// Busy-wait between requests (the paper busy-waits
+				// rather than sleeping, keeping threads runnable).
+				t.Compute(b.Delay)
+			}
+		})
+	}
+}

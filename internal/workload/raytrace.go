@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+)
+
+// Raytrace models the SPLASH-2 Raytrace application (§4): a central
+// work queue of tiles with irregular per-tile costs, protected by the
+// lock under test. The application is >99% parallel, but the queue lock
+// is hit by every thread for every tile, and the irregular tile costs
+// prevent static partitioning — which is why contention depends on the
+// thread count, not the input size, and why it is such a good load-
+// control candidate.
+//
+// Tile costs are deterministic functions of the tile index with a
+// heavy-ish tail (a few tiles cost 10x the median), standing in for the
+// car.geo scene's uneven ray-bounce depths.
+type Raytrace struct {
+	w    *World
+	lock locks.Lock
+
+	// Tiles per frame; threads render frames back to back.
+	Tiles int
+	// MeanTileCost is the median tile compute time.
+	MeanTileCost time.Duration
+	// QueueOp is the work under the queue lock per tile fetch.
+	QueueOp time.Duration
+
+	next      int
+	frame     uint64
+	completed uint64
+}
+
+// NewRaytrace builds the driver over one queue lock from f. The queue
+// operation cost is calibrated to the machine size so the queue lock —
+// the application's documented scalability limit — nears saturation as
+// the machine does.
+func NewRaytrace(w *World, f locks.Factory) *Raytrace {
+	mean := 30 * time.Microsecond
+	qop := time.Duration(0.7 * float64(mean) / float64(w.M.Contexts()))
+	if qop < 400*time.Nanosecond {
+		qop = 400 * time.Nanosecond
+	}
+	return &Raytrace{
+		w:            w,
+		lock:         f(w.Env),
+		Tiles:        4096,
+		MeanTileCost: mean,
+		QueueOp:      qop,
+	}
+}
+
+// Name implements Driver.
+func (b *Raytrace) Name() string { return "raytrace" }
+
+// Completed implements Driver (unit: tiles rendered).
+func (b *Raytrace) Completed() uint64 { return b.completed }
+
+// tileCost derives a deterministic irregular cost for tile i of frame f.
+func (b *Raytrace) tileCost(f uint64, i int) time.Duration {
+	h := (uint64(i)*0x9e3779b97f4a7c15 ^ f*0xbf58476d1ce4e5b9)
+	h ^= h >> 29
+	// Base in [0.5, 1.5) of mean; ~3% of tiles take an extra 8x tail
+	// (deep reflections).
+	base := float64(h%1000)/1000 + 0.5
+	cost := time.Duration(base * float64(b.MeanTileCost))
+	if h%33 == 0 {
+		cost *= 8
+	}
+	return cost
+}
+
+// Start implements Driver.
+func (b *Raytrace) Start(n int) {
+	for i := 0; i < n; i++ {
+		b.w.P.NewThread(fmt.Sprintf("ray%d", i), func(t *cpu.Thread) {
+			for {
+				// Fetch a tile from the shared queue.
+				b.lock.Acquire(t)
+				t.Compute(b.QueueOp)
+				tile := b.next
+				b.next++
+				frame := b.frame
+				if b.next >= b.Tiles {
+					b.next = 0
+					b.frame++
+				}
+				b.lock.Release(t)
+				// Render it (pure parallel work).
+				t.Compute(b.tileCost(frame, tile))
+				b.completed++
+			}
+		})
+	}
+}

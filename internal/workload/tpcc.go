@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TPCC is a simplified TPC-C (§4): five transaction types over a
+// warehouse-partitioned order-entry schema. Its signature behaviours,
+// which Figure 11 depends on, are (a) heavy logical contention — hot
+// district rows held across the 6ms commit I/O — and (b) the badly
+// behaved Delivery transaction that holds many locks at once. Threads
+// therefore block on database locks far more than they spin on latches.
+type TPCC struct {
+	w *World
+	e *storage.Engine
+
+	// Warehouses is the scale factor.
+	Warehouses int
+	// NoDelivery removes Delivery from the mix (the paper's §5.4
+	// variance experiment).
+	NoDelivery bool
+
+	completed uint64
+	nextOrder uint64
+}
+
+// TPCCConfig tunes the TPC-C driver.
+type TPCCConfig struct {
+	// Warehouses defaults to 8 (scaled from the paper's 100; the hot-
+	// row contention structure per warehouse is what matters).
+	Warehouses int
+	// CommitLatency defaults to the paper's 6ms emulated disk force.
+	CommitLatency time.Duration
+	// Latch is the engine latch factory.
+	Latch locks.Factory
+	// NoDelivery removes the Delivery transaction from the mix.
+	NoDelivery bool
+}
+
+// Districts per warehouse and customers per district (scaled down).
+const (
+	tpccDistricts = 10
+	tpccCustomers = 300
+	tpccItems     = 1000
+)
+
+// NewTPCC creates and loads the engine.
+func NewTPCC(w *World, cfg TPCCConfig) *TPCC {
+	if cfg.Warehouses <= 0 {
+		cfg.Warehouses = 8
+	}
+	if cfg.CommitLatency == 0 {
+		cfg.CommitLatency = 6 * time.Millisecond
+	}
+	// TPC-C transactions are far heavier than TM-1's: real NewOrder /
+	// Payment execute complex SQL over many tuples (the paper's engine
+	// spends milliseconds of CPU per transaction). Scale the per-op
+	// costs up so the CPU:commit-I/O ratio — which sets the runnable-
+	// thread band Figure 6 measures — is in the right regime.
+	costs := storage.DefaultOpCosts()
+	costs.OpLogic *= 20
+	costs.Begin *= 10
+	costs.Commit *= 10
+	costs.LatchedRead *= 4
+	costs.LatchedWrite *= 4
+	e := storage.NewEngine(w.Env, storage.Config{
+		Latch:         cfg.Latch,
+		Buckets:       512,
+		CommitLatency: cfg.CommitLatency,
+		Costs:         costs,
+	})
+	b := &TPCC{w: w, e: e, Warehouses: cfg.Warehouses, NoDelivery: cfg.NoDelivery}
+	wh := e.CreateTable("warehouse")
+	di := e.CreateTable("district")
+	cu := e.CreateTable("customer")
+	st := e.CreateTable("stock")
+	e.CreateTable("orders")
+	e.CreateTable("new_order")
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		wh.Load(uint64(wid), storage.Row{0}) // ytd
+		for d := 1; d <= tpccDistricts; d++ {
+			di.Load(b.dKey(wid, d), storage.Row{1, 0}) // next_o_id, ytd
+			for c := 1; c <= tpccCustomers; c++ {
+				cu.Load(b.cKey(wid, d, c), storage.Row{0, 0}) // balance, payments
+			}
+		}
+		for i := 1; i <= tpccItems; i++ {
+			st.Load(b.sKey(wid, i), storage.Row{100, 0}) // quantity, ytd
+		}
+	}
+	return b
+}
+
+func (b *TPCC) dKey(w, d int) uint64    { return uint64(w)*100 + uint64(d) }
+func (b *TPCC) cKey(w, d, c int) uint64 { return (uint64(w)*100+uint64(d))*1000 + uint64(c) }
+func (b *TPCC) sKey(w, i int) uint64    { return uint64(w)*100000 + uint64(i) }
+func (b *TPCC) oKey(id uint64) uint64   { return id }
+
+// Name implements Driver.
+func (b *TPCC) Name() string { return "tpcc" }
+
+// Completed implements Driver.
+func (b *TPCC) Completed() uint64 { return b.completed }
+
+// Engine exposes the storage engine.
+func (b *TPCC) Engine() *storage.Engine { return b.e }
+
+// Start implements Driver.
+func (b *TPCC) Start(n int) {
+	for i := 0; i < n; i++ {
+		rng := b.w.K.Rand().Fork()
+		b.w.P.NewThread(fmt.Sprintf("tpcc-%d", i), func(t *cpu.Thread) {
+			for {
+				b.runOne(t, rng)
+				b.completed++
+			}
+		})
+	}
+}
+
+func (b *TPCC) runOne(t *cpu.Thread, rng *sim.RNG) {
+	mix := rng.Intn(100)
+	if b.NoDelivery && mix >= 92 && mix < 96 {
+		mix = 50 // replace Delivery with Payment
+	}
+	var err error
+	switch {
+	case mix < 45:
+		err = b.newOrder(t, rng)
+	case mix < 88:
+		err = b.payment(t, rng)
+	case mix < 92:
+		err = b.orderStatus(t, rng)
+	case mix < 96:
+		err = b.delivery(t, rng)
+	default:
+		err = b.stockLevel(t, rng)
+	}
+	_ = err // aborted transactions already cleaned up; retry as new
+}
+
+// newOrder is the hot-path transaction: it takes the district row
+// exclusively (next_o_id) and holds it across the commit force — the
+// classic TPC-C serialization point.
+func (b *TPCC) newOrder(t *cpu.Thread, rng *sim.RNG) error {
+	wid := rng.Intn(b.Warehouses) + 1
+	did := rng.Intn(tpccDistricts) + 1
+	x := b.e.Begin(t)
+	var oid int64
+	if _, err := x.Update("district", b.dKey(wid, did), func(r storage.Row) storage.Row {
+		oid = r[0]
+		r[0]++
+		return r
+	}); err != nil {
+		x.Abort()
+		return err
+	}
+	nItems := 5 + rng.Intn(11)
+	for i := 0; i < nItems; i++ {
+		item := rng.Intn(tpccItems) + 1
+		if _, err := x.Update("stock", b.sKey(wid, item), func(r storage.Row) storage.Row {
+			r[0]--
+			if r[0] < 10 {
+				r[0] += 91
+			}
+			return r
+		}); err != nil {
+			x.Abort()
+			return err
+		}
+	}
+	b.nextOrder++
+	ord := b.nextOrder
+	if _, err := x.Insert("orders", b.oKey(ord), storage.Row{int64(wid), int64(did), oid, 0}); err != nil {
+		x.Abort()
+		return err
+	}
+	if _, err := x.Insert("new_order", b.oKey(ord), storage.Row{int64(wid), int64(did)}); err != nil {
+		x.Abort()
+		return err
+	}
+	x.Commit()
+	return nil
+}
+
+func (b *TPCC) payment(t *cpu.Thread, rng *sim.RNG) error {
+	wid := rng.Intn(b.Warehouses) + 1
+	did := rng.Intn(tpccDistricts) + 1
+	cid := rng.Intn(tpccCustomers) + 1
+	amount := int64(rng.Intn(5000) + 1)
+	x := b.e.Begin(t)
+	if _, err := x.Update("warehouse", uint64(wid), func(r storage.Row) storage.Row {
+		r[0] += amount
+		return r
+	}); err != nil {
+		x.Abort()
+		return err
+	}
+	if _, err := x.Update("district", b.dKey(wid, did), func(r storage.Row) storage.Row {
+		r[1] += amount
+		return r
+	}); err != nil {
+		x.Abort()
+		return err
+	}
+	if _, err := x.Update("customer", b.cKey(wid, did, cid), func(r storage.Row) storage.Row {
+		r[0] -= amount
+		r[1]++
+		return r
+	}); err != nil {
+		x.Abort()
+		return err
+	}
+	x.Commit()
+	return nil
+}
+
+func (b *TPCC) orderStatus(t *cpu.Thread, rng *sim.RNG) error {
+	wid := rng.Intn(b.Warehouses) + 1
+	did := rng.Intn(tpccDistricts) + 1
+	cid := rng.Intn(tpccCustomers) + 1
+	x := b.e.Begin(t)
+	if _, _, err := x.Read("customer", b.cKey(wid, did, cid)); err != nil {
+		x.Abort()
+		return err
+	}
+	if b.nextOrder > 0 {
+		oid := uint64(rng.Intn(int(b.nextOrder))) + 1
+		if _, _, err := x.Read("orders", b.oKey(oid)); err != nil {
+			x.Abort()
+			return err
+		}
+	}
+	x.Commit()
+	return nil
+}
+
+// delivery is the badly behaved transaction (§5.4): it sweeps a batch of
+// new orders, updating each and the matching customer, holding all those
+// locks until one commit at the end.
+func (b *TPCC) delivery(t *cpu.Thread, rng *sim.RNG) error {
+	x := b.e.Begin(t)
+	if b.nextOrder == 0 {
+		x.Commit()
+		return nil
+	}
+	for i := 0; i < 10; i++ {
+		oid := uint64(rng.Intn(int(b.nextOrder))) + 1
+		ok, err := x.Delete("new_order", b.oKey(oid))
+		if err != nil {
+			x.Abort()
+			return err
+		}
+		if !ok {
+			continue
+		}
+		var wid, did int64 = 1, 1
+		if _, err := x.Update("orders", b.oKey(oid), func(r storage.Row) storage.Row {
+			wid, did = r[0], r[1]
+			r[3] = 1 // carrier assigned
+			return r
+		}); err != nil {
+			x.Abort()
+			return err
+		}
+		cid := rng.Intn(tpccCustomers) + 1
+		if _, err := x.Update("customer", b.cKey(int(wid), int(did), cid), func(r storage.Row) storage.Row {
+			r[0] += 10
+			return r
+		}); err != nil {
+			x.Abort()
+			return err
+		}
+	}
+	x.Commit()
+	return nil
+}
+
+func (b *TPCC) stockLevel(t *cpu.Thread, rng *sim.RNG) error {
+	wid := rng.Intn(b.Warehouses) + 1
+	x := b.e.Begin(t)
+	for i := 0; i < 20; i++ {
+		item := rng.Intn(tpccItems) + 1
+		if _, _, err := x.Read("stock", b.sKey(wid, item)); err != nil {
+			x.Abort()
+			return err
+		}
+	}
+	x.Commit()
+	return nil
+}

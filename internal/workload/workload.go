@@ -1,0 +1,105 @@
+// Package workload implements the paper's benchmark drivers (§4): a
+// single-lock microbenchmark, the TM-1 (TATP) telecom workload, a
+// simplified TPC-C, and a Raytrace-like irregular-parallelism workload.
+// All drivers are parameterized over a lock factory so each can run
+// under pthread-style mutexes, TP-MCS, load control, or any other
+// primitive.
+//
+// Measurement follows the paper's protocol: client threads run
+// continuously; the harness samples per-thread completion counters twice
+// (after a warmup) and reports the difference, so startup and shutdown
+// never pollute throughput.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// World bundles the simulated machine pieces every driver needs.
+type World struct {
+	K   *sim.Kernel
+	M   *cpu.Machine
+	P   *cpu.Process
+	Env *locks.Env
+}
+
+// NewWorld creates a machine with the given context count and one
+// application process. The dispatcher serialization cost is enabled and
+// scaled so that the machine's baseline one-switch-per-transaction
+// regime consumes a modest fraction of dispatcher capacity, leaving the
+// paper's relative headroom before scheduler saturation.
+func NewWorld(seed uint64, contexts int) *World {
+	k := sim.NewKernel(seed)
+	m := cpu.NewMachine(k, cpu.Config{
+		Contexts:       contexts,
+		DispatchSerial: 4 * time.Microsecond / time.Duration(max(1, contexts)),
+	})
+	p := m.NewProcess("app")
+	return &World{K: k, M: m, P: p, Env: locks.NewEnv(m)}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewWorldOn adds an application process + lock Env to an existing
+// machine (for multi-process experiments).
+func NewWorldOn(m *cpu.Machine, name string) *World {
+	return &World{K: m.K, M: m, P: m.NewProcess(name), Env: locks.NewEnv(m)}
+}
+
+// Driver is a continuously running benchmark.
+type Driver interface {
+	// Start launches n client threads that run until the simulation
+	// stops.
+	Start(n int)
+	// Completed returns the cumulative number of completed operations
+	// (transactions, tiles, lock acquisitions — the driver's unit).
+	Completed() uint64
+	// Name identifies the workload.
+	Name() string
+}
+
+// Result is one measured point.
+type Result struct {
+	Workload   string
+	Lock       string
+	Clients    int
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // ops per second
+	// Switches and Preemptions are machine-wide deltas over the
+	// measurement window.
+	Switches    uint64
+	Preemptions uint64
+}
+
+// Measure runs the paper's two-reading protocol on d: warm up, read,
+// run the measurement window, read again.
+func Measure(w *World, d Driver, lockName string, clients int, warmup, window time.Duration) Result {
+	d.Start(clients)
+	w.K.RunFor(warmup)
+	ops0 := d.Completed()
+	sw0, pr0 := w.M.Switches, w.M.Preemptions
+	w.K.RunFor(window)
+	ops1 := d.Completed()
+	sw1, pr1 := w.M.Switches, w.M.Preemptions
+	ops := ops1 - ops0
+	return Result{
+		Workload:    d.Name(),
+		Lock:        lockName,
+		Clients:     clients,
+		Ops:         ops,
+		Elapsed:     window,
+		Throughput:  float64(ops) / window.Seconds(),
+		Switches:    sw1 - sw0,
+		Preemptions: pr1 - pr0,
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+)
+
+func TestMicroThroughputScalesWithThreads(t *testing.T) {
+	// Below saturation, doubling threads should nearly double the
+	// microbenchmark throughput (it is >99% parallel at 25µs delay).
+	run := func(n int) float64 {
+		w := NewWorld(1, 16)
+		b := NewMicro(w, locks.NewTPMCS)
+		r := Measure(w, b, "tp-mcs", n, 10*time.Millisecond, 50*time.Millisecond)
+		return r.Throughput
+	}
+	t1 := run(2)
+	t2 := run(4)
+	if t2 < 1.6*t1 {
+		t.Fatalf("no scaling: 2 threads %.0f/s, 4 threads %.0f/s", t1, t2)
+	}
+}
+
+func TestMicroRespectsDelayParameter(t *testing.T) {
+	w := NewWorld(2, 8)
+	b := NewMicro(w, locks.NewTPMCS)
+	b.Delay = 100 * time.Microsecond
+	r := Measure(w, b, "tp-mcs", 1, 5*time.Millisecond, 50*time.Millisecond)
+	// One thread, ~100µs per cycle → ~10k ops/s (plus small overheads).
+	if r.Throughput < 7000 || r.Throughput > 11000 {
+		t.Fatalf("throughput = %.0f, want ~9.9k", r.Throughput)
+	}
+}
+
+func TestTM1RunsAllTransactionTypes(t *testing.T) {
+	w := NewWorld(3, 8)
+	b := NewTM1(w, TM1Config{Subscribers: 500})
+	r := Measure(w, b, "tp-mcs", 8, 20*time.Millisecond, 100*time.Millisecond)
+	if r.Ops < 100 {
+		t.Fatalf("TM-1 too slow: %d ops", r.Ops)
+	}
+	e := b.Engine()
+	if e.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	// Insert/Delete mix will occasionally fail logically (dup/missing)
+	// — that is fine — but the engine must not be aborting heavily.
+	if e.Aborts > e.Commits/2 {
+		t.Fatalf("aborts %d vs commits %d", e.Aborts, e.Commits)
+	}
+}
+
+func TestTM1DeterministicThroughput(t *testing.T) {
+	run := func() uint64 {
+		w := NewWorld(7, 4)
+		b := NewTM1(w, TM1Config{Subscribers: 200})
+		r := Measure(w, b, "tp-mcs", 6, 10*time.Millisecond, 50*time.Millisecond)
+		return r.Ops
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic TM-1: %d vs %d", a, b)
+	}
+}
+
+func TestTPCCHasLogicalContention(t *testing.T) {
+	w := NewWorld(4, 8)
+	b := NewTPCC(w, TPCCConfig{Warehouses: 2, CommitLatency: 2 * time.Millisecond})
+	r := Measure(w, b, "tp-mcs", 16, 50*time.Millisecond, 200*time.Millisecond)
+	if r.Ops == 0 {
+		t.Fatal("no TPC-C transactions completed")
+	}
+	// 16 threads on 2 warehouses × 10 districts with multi-ms commit
+	// holds: blocked time must dominate spinning.
+	acct := w.P.Acct()
+	if acct.Blocked == 0 {
+		t.Fatal("no blocking despite hot district rows and commit I/O")
+	}
+}
+
+func TestTPCCNoDeliveryReducesVariance(t *testing.T) {
+	run := func(noDelivery bool) uint64 {
+		w := NewWorld(5, 8)
+		b := NewTPCC(w, TPCCConfig{Warehouses: 2, NoDelivery: noDelivery,
+			CommitLatency: time.Millisecond})
+		r := Measure(w, b, "tp-mcs", 12, 30*time.Millisecond, 150*time.Millisecond)
+		return r.Ops
+	}
+	with := run(false)
+	without := run(true)
+	if without < with {
+		t.Logf("note: no-delivery %d <= with %d (acceptable, depends on mix)", without, with)
+	}
+	if without == 0 || with == 0 {
+		t.Fatal("a variant made no progress")
+	}
+}
+
+func TestRaytraceIrregularCosts(t *testing.T) {
+	w := NewWorld(6, 8)
+	b := NewRaytrace(w, locks.NewTPMCS)
+	var lo, hi time.Duration = time.Hour, 0
+	for i := 0; i < b.Tiles; i++ {
+		c := b.tileCost(0, i)
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi < 4*lo {
+		t.Fatalf("tile costs not irregular: lo=%v hi=%v", lo, hi)
+	}
+	r := Measure(w, b, "tp-mcs", 8, 10*time.Millisecond, 100*time.Millisecond)
+	if r.Ops < 1000 {
+		t.Fatalf("raytrace too slow: %d tiles", r.Ops)
+	}
+}
+
+func TestRaytraceQueueLockIsBottleneckAtScale(t *testing.T) {
+	// With zero-length tiles, the queue lock serializes everything:
+	// adding threads must NOT scale. Sanity check of the bottleneck.
+	w := NewWorld(8, 8)
+	b := NewRaytrace(w, locks.NewTPMCS)
+	b.MeanTileCost = 0
+	r8 := Measure(w, b, "tp-mcs", 8, 5*time.Millisecond, 30*time.Millisecond)
+
+	w1 := NewWorld(8, 8)
+	b1 := NewRaytrace(w1, locks.NewTPMCS)
+	b1.MeanTileCost = 0
+	r1 := Measure(w1, b1, "tp-mcs", 1, 5*time.Millisecond, 30*time.Millisecond)
+	if r8.Throughput > 2*r1.Throughput {
+		t.Fatalf("serialized workload scaled: 1=%.0f 8=%.0f", r1.Throughput, r8.Throughput)
+	}
+}
+
+func TestMeasureWindowExcludesWarmup(t *testing.T) {
+	w := NewWorld(9, 4)
+	b := NewMicro(w, locks.NewTPMCS)
+	r := Measure(w, b, "tp-mcs", 2, 20*time.Millisecond, 40*time.Millisecond)
+	if r.Elapsed != 40*time.Millisecond {
+		t.Fatalf("elapsed = %v", r.Elapsed)
+	}
+	if r.Ops == 0 || b.Completed() <= r.Ops {
+		t.Fatalf("warmup ops not excluded: window %d, total %d", r.Ops, b.Completed())
+	}
+}
+
+func TestTwoProcessWorldsShareOneMachine(t *testing.T) {
+	w1 := NewWorld(10, 4)
+	w2 := NewWorldOn(w1.M, "other")
+	b1 := NewMicro(w1, locks.NewTPMCS)
+	b2 := NewMicro(w2, locks.NewTPMCS)
+	b1.Start(4)
+	b2.Start(4)
+	w1.K.RunFor(50 * time.Millisecond)
+	if b1.Completed() == 0 || b2.Completed() == 0 {
+		t.Fatal("a process starved")
+	}
+}
