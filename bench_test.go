@@ -15,13 +15,17 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+	"repro/internal/kv"
 	"repro/internal/locks"
 	"repro/internal/workload"
 )
@@ -114,10 +118,10 @@ func BenchmarkSimLockLC(b *testing.B)       { benchSimLock(b, locks.NewTPMCS, tr
 
 // BenchmarkGolcMutexUncontended measures the real library's fast path.
 func BenchmarkGolcMutexUncontended(b *testing.B) {
-	ctl := golc.NewController(golc.Options{})
-	ctl.Start()
-	defer ctl.Stop()
-	mu := golc.NewMutex(ctl)
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	mu := golc.NewMutex(rt)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mu.Lock()
@@ -128,10 +132,10 @@ func BenchmarkGolcMutexUncontended(b *testing.B) {
 // BenchmarkGolcMutexContended measures the real library under
 // oversubscription (parallelism x8).
 func BenchmarkGolcMutexContended(b *testing.B) {
-	ctl := golc.NewController(golc.Options{})
-	ctl.Start()
-	defer ctl.Stop()
-	mu := golc.NewMutex(ctl)
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	mu := golc.NewMutex(rt)
 	shared := 0
 	b.SetParallelism(8)
 	b.RunParallel(func(pb *testing.PB) {
@@ -145,6 +149,69 @@ func BenchmarkGolcMutexContended(b *testing.B) {
 		b.Fatal("no work done")
 	}
 }
+
+// benchManyLocks contends 64 locks from oversubscribed workers in the
+// paper's overload regime (OS threads >> CPUs, so latch holders get
+// descheduled mid-critical-section and convoys form). With shared=true
+// one process-wide runtime governs all of them (the new design); with
+// shared=false every lock gets a private runtime (the old
+// per-lock-controller design, kept as the comparison baseline).
+func benchManyLocks(b *testing.B, shared bool) {
+	const nLocks = 64
+	prev := runtime.GOMAXPROCS(8 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	var rts []*lcrt.Runtime
+	newRT := func() *lcrt.Runtime {
+		rt := lcrt.New(lcrt.Options{})
+		rt.Start()
+		rts = append(rts, rt)
+		return rt
+	}
+	var sharedRT *lcrt.Runtime
+	if shared {
+		sharedRT = newRT()
+	}
+	locks := make([]*golc.Mutex, nLocks)
+	counters := make([]int, nLocks)
+	for i := range locks {
+		rt := sharedRT
+		if !shared {
+			rt = newRT()
+		}
+		locks[i] = golc.NewNamedMutex(rt, fmt.Sprintf("bench-%03d", i))
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Stop()
+		}
+	}()
+	var next atomic.Uint64
+	b.SetParallelism(16) // goroutines >> CPUs (on top of the raised GOMAXPROCS)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(next.Add(1)-1) % nLocks
+		mu := locks[id]
+		for pb.Next() {
+			mu.Lock()
+			counters[id]++
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != b.N {
+		b.Fatalf("lost updates: %d != %d", total, b.N)
+	}
+}
+
+// BenchmarkGolcSharedRuntime64Locks: 64 locks, ONE controller goroutine.
+func BenchmarkGolcSharedRuntime64Locks(b *testing.B) { benchManyLocks(b, true) }
+
+// BenchmarkGolcPerLockRuntime64Locks: 64 locks, 64 controller goroutines.
+func BenchmarkGolcPerLockRuntime64Locks(b *testing.B) { benchManyLocks(b, false) }
 
 // BenchmarkGolcVsSyncMutex compares against the standard library under
 // the same contention for reference.
@@ -161,6 +228,106 @@ func BenchmarkGolcVsSyncMutex(b *testing.B) {
 	})
 	if shared == 0 {
 		b.Fatal("no work done")
+	}
+}
+
+// benchKVStore builds a loaded store on a private runtime for the KV
+// benchmarks, returning the precomputed key and value sets so the hot
+// loops measure latch behavior, not fmt.Sprintf.
+func benchKVStore(b *testing.B, mode kv.LockMode) (*kv.Store, []string, []string) {
+	b.Helper()
+	opts := kv.Options{Shards: 16, IndexStripes: 8, Mode: mode}
+	if mode == kv.LoadControlled {
+		rt := lcrt.New(lcrt.Options{})
+		rt.Start()
+		b.Cleanup(rt.Stop)
+		opts.Runtime = rt
+	}
+	s := kv.New(opts)
+	b.Cleanup(s.Close)
+	// 15 values, not 16: coprime with the 4096-key space, so Put
+	// benchmarks actually change values over time and exercise the
+	// secondary-index reindex (stripe latch) path.
+	keys := make([]string, 4096)
+	vals := make([]string, 15)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("tier-%d", i)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user:%05d", i)
+		s.Put(keys[i], vals[i%len(vals)])
+	}
+	return s, keys, vals
+}
+
+// benchWorkerStart staggers each RunParallel goroutine's position in
+// the key sequence so workers spread across shards instead of hitting
+// the same key in lockstep.
+var benchWorkerStart atomic.Uint64
+
+func benchStart() int { return int(benchWorkerStart.Add(1)) * 257 }
+
+// BenchmarkKVGet measures point reads under oversubscription.
+func BenchmarkKVGet(b *testing.B) {
+	s, keys, _ := benchKVStore(b, kv.LoadControlled)
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := benchStart()
+		for pb.Next() {
+			s.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}
+
+// BenchmarkKVPut measures writes (shard latch + index maintenance).
+func BenchmarkKVPut(b *testing.B) {
+	s, keys, vals := benchKVStore(b, kv.LoadControlled)
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := benchStart()
+		for pb.Next() {
+			s.Put(keys[i%len(keys)], vals[i%len(vals)])
+			i++
+		}
+	})
+}
+
+// benchKVMixed is the serving mix: 80% get, 15% put, 5% lookup.
+func benchKVMixed(b *testing.B, mode kv.LockMode) {
+	s, keys, vals := benchKVStore(b, mode)
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := benchStart()
+		for pb.Next() {
+			switch i % 20 {
+			case 0, 1, 2:
+				s.Put(keys[i%len(keys)], vals[i%len(vals)])
+			case 3:
+				s.Lookup(vals[i%len(vals)])
+			default:
+				s.Get(keys[i%len(keys)])
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkKVMixedLoadControl(b *testing.B) { benchKVMixed(b, kv.LoadControlled) }
+func BenchmarkKVMixedSpin(b *testing.B)        { benchKVMixed(b, kv.Spin) }
+func BenchmarkKVMixedStd(b *testing.B)         { benchKVMixed(b, kv.Std) }
+
+// BenchmarkKVScan measures prefix scans (one shard latch at a time).
+func BenchmarkKVScan(b *testing.B) {
+	s, _, _ := benchKVStore(b, kv.LoadControlled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Scan("user:000", 0); len(got) != 100 {
+			b.Fatalf("scan matched %d", len(got))
+		}
 	}
 }
 

@@ -1,43 +1,73 @@
-// Command lcbench drives the real (non-simulated) load-controlled mutex
-// from internal/golc on the host machine: N goroutines hammer one lock
+// Command lcbench drives the real (non-simulated) load-controlled locks
+// from internal/golc on the host machine: N goroutines hammer L locks
 // with a configurable critical section and think time, with or without
-// load control, and the tool reports throughput.
+// load control, and the tool reports throughput plus the shared
+// runtime's controller activity.
+//
+// The -locks flag is the point of the shared runtime: 64 contended
+// locks still cost one controller goroutine and one sensor. The
+// -perlock flag reproduces the old design (a private runtime per lock)
+// for comparison.
 //
 // Usage:
 //
-//	lcbench -goroutines 64 -cs 500ns -think 2us -duration 3s -lc
+//	lcbench -goroutines 64 -locks 8 -cs 500ns -think 2us -duration 3s -lc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
 )
 
 func main() {
 	var (
 		n        = flag.Int("goroutines", 4*runtime.GOMAXPROCS(0), "worker goroutines")
+		nlocks   = flag.Int("locks", 1, "contended locks (workers round-robin across them)")
 		cs       = flag.Duration("cs", 500*time.Nanosecond, "critical section length")
 		think    = flag.Duration("think", 2*time.Microsecond, "think time between acquires")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
 		useLC    = flag.Bool("lc", true, "enable load control")
+		perLock  = flag.Bool("perlock", false, "old design: one private runtime per lock instead of one shared")
 	)
 	flag.Parse()
+	if *nlocks < 1 {
+		fmt.Fprintln(os.Stderr, "lcbench: -locks must be >= 1")
+		os.Exit(2)
+	}
+	if *perLock && !*useLC {
+		fmt.Fprintln(os.Stderr, "lcbench: -perlock requires -lc")
+		os.Exit(2)
+	}
 
-	var ctl *golc.Controller
-	var mu golc.Locker
-	if *useLC {
-		ctl = golc.NewController(golc.Options{})
-		ctl.Start()
-		defer ctl.Stop()
-		mu = golc.NewMutex(ctl)
-	} else {
-		mu = golc.NewSpinMutex()
+	var rts []*lcrt.Runtime
+	locks := make([]golc.Locker, *nlocks)
+	switch {
+	case *useLC && *perLock:
+		for i := range locks {
+			rt := lcrt.New(lcrt.Options{})
+			rt.Start()
+			rts = append(rts, rt)
+			locks[i] = golc.NewNamedMutex(rt, fmt.Sprintf("bench-%03d", i))
+		}
+	case *useLC:
+		rt := lcrt.New(lcrt.Options{})
+		rt.Start()
+		rts = append(rts, rt)
+		for i := range locks {
+			locks[i] = golc.NewNamedMutex(rt, fmt.Sprintf("bench-%03d", i))
+		}
+	default:
+		for i := range locks {
+			locks[i] = golc.NewSpinMutex()
+		}
 	}
 
 	var ops atomic.Uint64
@@ -45,7 +75,7 @@ func main() {
 	var wg sync.WaitGroup
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
-		go func() {
+		go func(mu golc.Locker) {
 			defer wg.Done()
 			for {
 				select {
@@ -59,7 +89,7 @@ func main() {
 				ops.Add(1)
 				spinFor(*think)
 			}
-		}()
+		}(locks[i%len(locks)])
 	}
 
 	time.Sleep(*duration / 4) // warmup
@@ -73,16 +103,28 @@ func main() {
 
 	mode := "spin"
 	if *useLC {
-		mode = "load-control"
+		mode = "load-control/shared"
+		if *perLock {
+			mode = "load-control/per-lock"
+		}
 	}
-	fmt.Printf("mode=%s goroutines=%d gomaxprocs=%d cs=%v think=%v\n",
-		mode, *n, runtime.GOMAXPROCS(0), *cs, *think)
+	fmt.Printf("mode=%s goroutines=%d locks=%d gomaxprocs=%d cs=%v think=%v\n",
+		mode, *n, *nlocks, runtime.GOMAXPROCS(0), *cs, *think)
 	fmt.Printf("throughput: %.0f acquires/s (%d in %v)\n",
 		float64(delta)/elapsed.Seconds(), delta, elapsed.Round(time.Millisecond))
-	if ctl != nil {
-		s := ctl.Stats()
-		fmt.Printf("controller: updates=%d claims=%d wakes=%d timeouts=%d\n",
-			s.Updates, s.Claims, s.ControllerWakes, s.TimeoutWakes)
+	var agg lcrt.Snapshot
+	for _, rt := range rts {
+		s := rt.Snapshot()
+		agg.Updates += s.Updates
+		agg.Claims += s.Claims
+		agg.ControllerWakes += s.ControllerWakes
+		agg.TimeoutWakes += s.TimeoutWakes
+		agg.LocksRegistered += s.LocksRegistered
+		rt.Stop()
+	}
+	if len(rts) > 0 {
+		fmt.Printf("controller(s)=%d: updates=%d claims=%d wakes=%d timeouts=%d locks=%d\n",
+			len(rts), agg.Updates, agg.Claims, agg.ControllerWakes, agg.TimeoutWakes, agg.LocksRegistered)
 	}
 }
 

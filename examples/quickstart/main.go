@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
 )
 
 func main() {
@@ -22,12 +23,13 @@ func main() {
 	workers := 8 * procs // 800% "load": far more goroutines than procs
 	fmt.Printf("quickstart: %d workers on %d procs\n", workers, procs)
 
-	// 1. Load-controlled mutex: one controller, any number of locks.
-	ctl := golc.NewController(golc.Options{})
-	ctl.Start()
-	lcOps := drive(golc.NewMutex(ctl), workers, time.Second)
-	st := ctl.Stats()
-	ctl.Stop()
+	// 1. Load-controlled mutex: one process-wide runtime, any number
+	// of locks registered with it.
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	lcOps := drive(golc.NewMutex(rt), workers, time.Second)
+	st := rt.Snapshot()
+	rt.Stop()
 	fmt.Printf("load-control: %10.0f acquires/s  (claims=%d, controller wakes=%d)\n",
 		lcOps, st.Claims, st.ControllerWakes)
 

@@ -5,16 +5,17 @@ import (
 	"sync"
 
 	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
 )
 
-// ExampleMutex shows the intended usage: one controller per process,
-// any number of load-controlled mutexes attached to it.
+// ExampleMutex shows the intended usage: one load-control runtime per
+// process, any number of load-controlled locks registered with it.
 func ExampleMutex() {
-	ctl := golc.NewController(golc.Options{})
-	ctl.Start()
-	defer ctl.Stop()
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
 
-	mu := golc.NewMutex(ctl)
+	mu := golc.NewMutex(rt)
 	counter := 0
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
@@ -33,12 +34,15 @@ func ExampleMutex() {
 	// Output: 1600
 }
 
-// ExampleController_Stats shows reading controller activity.
-func ExampleController_Stats() {
-	ctl := golc.NewController(golc.Options{})
-	ctl.Start()
-	ctl.Stop()
-	s := ctl.Stats()
-	fmt.Println(s.Sleeping, s.Target)
-	// Output: 0 0
+// ExampleRuntime_Snapshot shows reading runtime and per-lock activity.
+func ExampleRuntime_Snapshot() {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	mu := golc.NewNamedMutex(rt, "demo")
+	mu.Lock()
+	mu.Unlock()
+	rt.Stop()
+	s := rt.Snapshot()
+	fmt.Println(s.Sleeping, s.Target, s.LocksRegistered, s.Locks[0].Name)
+	// Output: 0 0 1 demo
 }

@@ -1,27 +1,27 @@
-// Package golc is a real (non-simulated) load-controlled mutex for Go
-// programs — the paper's mechanism adapted to the Go runtime.
+// Package golc provides real (non-simulated) load-controlled locks for
+// Go programs — the paper's augmented-spinlock client protocol (§3.1.2)
+// adapted to the Go runtime.
 //
-// The adaptation and its honest limits: the paper's controller reads the
-// OS's runnable-thread count via microstate accounting, but the Go
-// runtime does not expose a runnable-goroutine count, and goroutines are
-// multiplexed over OS threads the library cannot see (this is the
-// "decoupling awkward" part of reproducing the paper in Go). The default
+// The locks themselves are thin: a TATAS spinlock (Mutex) and a
+// writer-preferring reader/writer variant (RWMutex) whose spinners
+// interleave slot-buffer checks into their spin loops. All load-control
+// policy lives in the process-wide runtime (internal/golc/runtime): one
+// controller goroutine, one load sensor, and one sleep-slot pool shared
+// by every lock in the process, which is the paper's central
+// architectural claim. Locks register with a Runtime at construction
+// and receive a Handle carrying the protocol and per-lock metrics.
+//
+// The adaptation and its honest limits: the paper's controller reads
+// the OS's runnable-thread count via microstate accounting, but the Go
+// runtime does not expose a runnable-goroutine count, and goroutines
+// are multiplexed over OS threads the library cannot see. The default
 // sensor therefore uses the observable core of the paper's insight:
 // spinning waiters are, by definition, not making progress, so when
-// spinners accumulate the lock is oversubscribed and all but a few
-// should block. The controller keeps a sleep slot buffer exactly like
-// the paper's — S/W counters, a target T, slot claims by spinning
-// waiters, immediate controller wakes on underload, and a 100ms safety
-// timeout — and a custom LoadFunc can supply a real load signal where
-// one exists (e.g., exported scheduler metrics or an application-level
-// admission counter).
+// spinners accumulate across the process the system is oversubscribed
+// and all but a few should block. A custom runtime LoadFunc can supply
+// a real load signal where one exists (e.g., exported scheduler metrics
+// or an application-level admission counter).
 package golc
-
-import (
-	"sync"
-	"sync/atomic"
-	"time"
-)
 
 // Locker is the subset of sync.Locker this package implements.
 type Locker interface {
@@ -29,218 +29,11 @@ type Locker interface {
 	Unlock()
 }
 
-// Options configures a Controller.
-type Options struct {
-	// Interval between controller updates (default 2ms).
-	Interval time.Duration
-	// SleepTimeout bounds a sleeper's wait without a controller wake
-	// (default 100ms, as in the paper).
-	SleepTimeout time.Duration
-	// BufferCap is the physical sleep-slot array size (default 1024).
-	BufferCap int
-	// KeepSpinners is how many spinning waiters the default policy
-	// leaves awake to preserve fast handoffs (default 2).
-	KeepSpinners int
-	// LoadFunc, when non-nil, returns the current excess load in
-	// runnable threads (the controller sleeps that many spinners).
-	// When nil, the default policy targets spinners-KeepSpinners.
-	LoadFunc func() int
-}
-
-func (o Options) withDefaults() Options {
-	if o.Interval == 0 {
-		o.Interval = 2 * time.Millisecond
-	}
-	if o.SleepTimeout == 0 {
-		o.SleepTimeout = 100 * time.Millisecond
-	}
-	if o.BufferCap == 0 {
-		o.BufferCap = 1024
-	}
-	if o.KeepSpinners == 0 {
-		o.KeepSpinners = 2
-	}
-	return o
-}
-
-// Stats reports controller activity.
-type Stats struct {
-	Updates         uint64
-	Claims          uint64
-	ControllerWakes uint64
-	TimeoutWakes    uint64
-	Sleeping        int
-	Target          int
-}
-
-// sleeper is one parked waiter: a channel closed by the controller wake.
-type sleeper struct {
-	ch  chan struct{}
-	idx int
-}
-
-// Controller manages the sleep slot buffer for any number of Mutexes.
-type Controller struct {
-	opts Options
-
-	// spinners counts goroutines currently spinning in Lock across all
-	// attached mutexes (the default load signal).
-	spinners atomic.Int64
-
-	// target is the published sleep target T.
-	target atomic.Int64
-
-	// s and w are the paper's S and W counters; s-w is the sleeper
-	// population. Reads are lock-free (the spinner fast path); slot
-	// mutations take mu.
-	s, w atomic.Uint64
-
-	mu    sync.Mutex
-	slots []*sleeper
-	scan  int
-
-	updates         atomic.Uint64
-	claims          atomic.Uint64
-	controllerWakes atomic.Uint64
-	timeoutWakes    atomic.Uint64
-
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
-}
-
-// NewController builds a controller; call Start to launch its daemon.
-func NewController(opts Options) *Controller {
-	o := opts.withDefaults()
-	return &Controller{
-		opts:  o,
-		slots: make([]*sleeper, o.BufferCap),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-	}
-}
-
-// Start launches the controller daemon goroutine.
-func (c *Controller) Start() {
-	go func() {
-		defer close(c.done)
-		tick := time.NewTicker(c.opts.Interval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-c.stop:
-				return
-			case <-tick.C:
-				c.update()
-			}
-		}
-	}()
-}
-
-// Stop terminates the daemon and wakes every sleeper.
-func (c *Controller) Stop() {
-	c.once.Do(func() { close(c.stop) })
-	<-c.done
-	c.setTarget(0)
-}
-
-// Stats returns a snapshot of controller counters.
-func (c *Controller) Stats() Stats {
-	return Stats{
-		Updates:         c.updates.Load(),
-		Claims:          c.claims.Load(),
-		ControllerWakes: c.controllerWakes.Load(),
-		TimeoutWakes:    c.timeoutWakes.Load(),
-		Sleeping:        int(c.s.Load() - c.w.Load()),
-		Target:          int(c.target.Load()),
-	}
-}
-
-// update is one controller cycle.
-func (c *Controller) update() {
-	c.updates.Add(1)
-	var t int
-	if c.opts.LoadFunc != nil {
-		t = c.opts.LoadFunc()
-	} else {
-		t = int(c.spinners.Load()) - c.opts.KeepSpinners + int(c.s.Load()-c.w.Load())
-	}
-	c.setTarget(t)
-}
-
-// setTarget publishes T and wakes surplus sleepers immediately.
-func (c *Controller) setTarget(t int) {
-	if t < 0 {
-		t = 0
-	}
-	if t > len(c.slots) {
-		t = len(c.slots)
-	}
-	c.target.Store(int64(t))
-	for int(c.s.Load()-c.w.Load()) > t {
-		if !c.wakeOne() {
-			break
-		}
-	}
-}
-
-// wakeOne scans for an occupied slot, clears it and signals the sleeper.
-func (c *Controller) wakeOne() bool {
-	c.mu.Lock()
-	n := len(c.slots)
-	for i := 0; i < n; i++ {
-		idx := (c.scan + i) % n
-		if s := c.slots[idx]; s != nil {
-			c.slots[idx] = nil
-			c.scan = (idx + 1) % n
-			c.mu.Unlock()
-			c.controllerWakes.Add(1)
-			close(s.ch)
-			return true
-		}
-	}
-	c.mu.Unlock()
-	return false
-}
-
-// trySleep attempts the spinner-side slot claim. It returns nil when the
-// buffer has no openings (the common fast path: two atomic loads).
-func (c *Controller) trySleep() *sleeper {
-	if int64(c.s.Load()-c.w.Load()) >= c.target.Load() {
-		return nil
-	}
-	c.mu.Lock()
-	if int64(c.s.Load()-c.w.Load()) >= c.target.Load() {
-		c.mu.Unlock()
-		return nil
-	}
-	idx := int(c.s.Load()) % len(c.slots)
-	if c.slots[idx] != nil {
-		c.mu.Unlock()
-		return nil // physical wrap onto an occupied slot
-	}
-	s := &sleeper{ch: make(chan struct{}), idx: idx}
-	c.slots[idx] = s
-	c.s.Add(1)
-	c.claims.Add(1)
-	c.mu.Unlock()
-	return s
-}
-
-// sleep parks until the controller wake or the timeout, then retires
-// from the buffer (W++), clearing its own slot on the timeout path.
-func (c *Controller) sleep(s *sleeper) {
-	timer := time.NewTimer(c.opts.SleepTimeout)
-	select {
-	case <-s.ch:
-	case <-timer.C:
-	}
-	timer.Stop()
-	c.mu.Lock()
-	if c.slots[s.idx] == s {
-		c.slots[s.idx] = nil
-		c.timeoutWakes.Add(1)
-	}
-	c.w.Add(1)
-	c.mu.Unlock()
+// RWLocker is the reader/writer interface implemented by RWMutex and
+// SpinRWMutex (and satisfied by *sync.RWMutex).
+type RWLocker interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
 }

@@ -6,13 +6,21 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	lcrt "repro/internal/golc/runtime"
 )
 
+func newTestRuntime(t *testing.T, opts lcrt.Options) *lcrt.Runtime {
+	t.Helper()
+	rt := lcrt.New(opts)
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	return rt
+}
+
 func TestMutexMutualExclusion(t *testing.T) {
-	ctl := NewController(Options{})
-	ctl.Start()
-	defer ctl.Stop()
-	mu := NewMutex(ctl)
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewMutex(rt)
 	const workers, iters = 8, 5000
 	counter := 0
 	var wg sync.WaitGroup
@@ -56,8 +64,7 @@ func TestSpinMutexMutualExclusion(t *testing.T) {
 }
 
 func TestUnlockOfUnlockedPanics(t *testing.T) {
-	ctl := NewController(Options{})
-	mu := NewMutex(ctl)
+	mu := NewMutex(lcrt.New(lcrt.Options{}))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on unlock of unlocked mutex")
@@ -66,13 +73,29 @@ func TestUnlockOfUnlockedPanics(t *testing.T) {
 	mu.Unlock()
 }
 
-func TestControllerClaimsUnderOversubscription(t *testing.T) {
+func TestNilRuntimeUsesDefault(t *testing.T) {
+	mu := NewMutex(nil)
+	defer mu.Close()
+	mu.Lock()
+	mu.Unlock()
+	found := false
+	for _, ls := range lcrt.Default().Snapshot().Locks {
+		if ls.Name == "mutex" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mutex not registered with the default runtime")
+	}
+}
+
+func TestRuntimeClaimsUnderOversubscription(t *testing.T) {
 	// Many more spinning goroutines than procs, short controller
-	// interval: claims must happen.
-	ctl := NewController(Options{Interval: 500 * time.Microsecond})
-	ctl.Start()
-	defer ctl.Stop()
-	mu := NewMutex(ctl)
+	// interval, and a park threshold low enough that short convoys
+	// qualify: claims must happen, and the lock's own counters must
+	// see them.
+	rt := newTestRuntime(t, lcrt.Options{Interval: 500 * time.Microsecond, SpinBeforePark: 64})
+	mu := NewNamedMutex(rt, "hot")
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	n := 8 * runtime.GOMAXPROCS(0)
@@ -100,25 +123,29 @@ func TestControllerClaimsUnderOversubscription(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	close(stop)
 	wg.Wait()
-	s := ctl.Stats()
-	if s.Updates == 0 {
+	snap := rt.Snapshot()
+	if snap.Updates == 0 {
 		t.Fatal("controller never updated")
 	}
-	if s.Claims == 0 {
+	if snap.Claims == 0 {
 		t.Fatal("no sleep-slot claims despite 8x oversubscription")
 	}
 	if ops.Load() == 0 {
 		t.Fatal("no progress")
 	}
+	ls := mu.Stats()
+	if ls.Name != "hot" || ls.Blocks == 0 || ls.Spins == 0 {
+		t.Fatalf("per-lock stats did not record activity: %+v", ls)
+	}
 }
 
 func TestStopWakesSleepers(t *testing.T) {
-	ctl := NewController(Options{
+	rt := lcrt.New(lcrt.Options{
 		Interval:     500 * time.Microsecond,
 		SleepTimeout: 10 * time.Second, // only a controller wake can end the sleep
 	})
-	ctl.Start()
-	mu := NewMutex(ctl)
+	rt.Start()
+	mu := NewMutex(rt)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < 8*runtime.GOMAXPROCS(0); i++ {
@@ -140,7 +167,7 @@ func TestStopWakesSleepers(t *testing.T) {
 		}()
 	}
 	time.Sleep(100 * time.Millisecond)
-	ctl.Stop() // must wake all sleepers so workers can observe stop
+	rt.Stop() // must wake all sleepers so workers can observe stop
 	close(stop)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -151,122 +178,9 @@ func TestStopWakesSleepers(t *testing.T) {
 	}
 }
 
-func TestCustomLoadFunc(t *testing.T) {
-	var excess atomic.Int64
-	ctl := NewController(Options{
-		Interval: time.Millisecond,
-		LoadFunc: func() int { return int(excess.Load()) },
-	})
-	ctl.Start()
-	defer ctl.Stop()
-	mu := NewMutex(ctl)
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for i := 0; i < 4*runtime.GOMAXPROCS(0); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				mu.Lock()
-				busy := time.Now().Add(time.Microsecond)
-				for time.Now().Before(busy) {
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	excess.Store(4)
-	waitFor(t, "target=4", func() bool { return ctl.Stats().Target == 4 })
-	excess.Store(0)
-	waitFor(t, "sleeping=0", func() bool { return ctl.Stats().Sleeping == 0 })
-	close(stop)
-	wg.Wait()
-}
-
-// waitFor polls cond for up to 5s (the spinning workers can starve the
-// controller goroutine briefly, especially under -race).
-func waitFor(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("condition %q not reached within 5s", what)
-}
-
-func TestSleeperTimeoutPath(t *testing.T) {
-	ctl := NewController(Options{SleepTimeout: 20 * time.Millisecond})
-	// Don't start the daemon: force a target manually and claim.
-	ctl.setTarget(1)
-	s := ctl.trySleep()
-	if s == nil {
-		t.Fatal("claim failed with open target")
-	}
-	start := time.Now()
-	ctl.sleep(s)
-	if time.Since(start) < 15*time.Millisecond {
-		t.Fatal("sleep returned before timeout without a wake")
-	}
-	st := ctl.Stats()
-	if st.TimeoutWakes != 1 || st.Sleeping != 0 {
-		t.Fatalf("stats = %+v", st)
-	}
-}
-
-func TestControllerWakePath(t *testing.T) {
-	ctl := NewController(Options{SleepTimeout: 10 * time.Second})
-	ctl.setTarget(1)
-	s := ctl.trySleep()
-	if s == nil {
-		t.Fatal("claim failed")
-	}
-	done := make(chan struct{})
-	go func() {
-		ctl.sleep(s)
-		close(done)
-	}()
-	time.Sleep(10 * time.Millisecond)
-	ctl.setTarget(0) // must wake the sleeper promptly
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("controller wake did not release the sleeper")
-	}
-	if ctl.Stats().ControllerWakes != 1 {
-		t.Fatalf("stats = %+v", ctl.Stats())
-	}
-}
-
-func TestTrySleepRespectsTarget(t *testing.T) {
-	ctl := NewController(Options{})
-	if s := ctl.trySleep(); s != nil {
-		t.Fatal("claim succeeded with zero target")
-	}
-	ctl.setTarget(2)
-	s1 := ctl.trySleep()
-	s2 := ctl.trySleep()
-	s3 := ctl.trySleep()
-	if s1 == nil || s2 == nil {
-		t.Fatal("claims under target failed")
-	}
-	if s3 != nil {
-		t.Fatal("claim beyond target succeeded")
-	}
-}
-
-func TestSharedControllerAcrossMutexes(t *testing.T) {
-	ctl := NewController(Options{Interval: time.Millisecond})
-	ctl.Start()
-	defer ctl.Stop()
-	a, b := NewMutex(ctl), NewMutex(ctl)
+func TestSharedRuntimeAcrossMutexes(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{Interval: time.Millisecond})
+	a, b := NewNamedMutex(rt, "a"), NewNamedMutex(rt, "b")
 	var wg sync.WaitGroup
 	counter := [2]int{}
 	for i := 0; i < 4; i++ {
@@ -291,5 +205,132 @@ func TestSharedControllerAcrossMutexes(t *testing.T) {
 	wg.Wait()
 	if counter[0] != 8000 || counter[1] != 8000 {
 		t.Fatalf("counters = %v", counter)
+	}
+	snap := rt.Snapshot()
+	if snap.LocksRegistered != 2 || len(snap.Locks) != 2 {
+		t.Fatalf("registry = %d locks (%d listed), want 2", snap.LocksRegistered, len(snap.Locks))
+	}
+	if snap.Locks[0].Name != "a" || snap.Locks[1].Name != "b" {
+		t.Fatalf("snapshot order = %q,%q, want a,b", snap.Locks[0].Name, snap.Locks[1].Name)
+	}
+}
+
+func TestRWMutexWriterExclusion(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewRWMutex(rt)
+	const workers, iters = 8, 3000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*iters)
+	}
+}
+
+func TestRWMutexReadersShareWritersExclude(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewRWMutex(rt)
+	var concurrentReaders, maxReaders atomic.Int32
+	value := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() { // reader
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				mu.RLock()
+				n := concurrentReaders.Add(1)
+				for {
+					m := maxReaders.Load()
+					if n <= m || maxReaders.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				_ = value
+				concurrentReaders.Add(-1)
+				mu.RUnlock()
+			}
+		}()
+		go func() { // writer
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				if r := concurrentReaders.Load(); r != 0 {
+					panic("writer saw active readers")
+				}
+				value++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if value != 4000 {
+		t.Fatalf("value = %d, want 4000", value)
+	}
+	if maxReaders.Load() < 2 && runtime.GOMAXPROCS(0) > 1 {
+		t.Logf("note: never observed concurrent readers (max=%d)", maxReaders.Load())
+	}
+}
+
+func TestRWMutexMisuse(t *testing.T) {
+	rt := lcrt.New(lcrt.Options{})
+	t.Run("RUnlockUnlocked", func(t *testing.T) {
+		mu := NewRWMutex(rt)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		mu.RUnlock()
+	})
+	t.Run("UnlockNotWriteHeld", func(t *testing.T) {
+		mu := NewRWMutex(rt)
+		mu.RLock()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		mu.Unlock()
+	})
+}
+
+func TestSpinRWMutex(t *testing.T) {
+	mu := NewSpinRWMutex()
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				mu.RLock()
+				_ = counter
+				mu.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
 	}
 }

@@ -3,27 +3,43 @@ package golc
 import (
 	"runtime"
 	"sync/atomic"
+
+	lcrt "repro/internal/golc/runtime"
 )
 
 // Mutex is a load-controlled spinlock for real Go programs: a TATAS
-// spinlock whose spinners watch the controller's sleep slot buffer and
-// park when told the system is oversubscribed, exactly mirroring the
-// paper's augmented-spinlock client protocol (§3.1.2).
+// spinlock whose spinners watch the shared runtime's sleep slot buffer
+// and park when told the system is oversubscribed, exactly mirroring
+// the paper's augmented-spinlock client protocol (§3.1.2).
 //
-// A Mutex must be created with NewMutex; several Mutexes can share one
-// Controller (load control decisions are global, which is the point).
+// A Mutex must be created with NewMutex. Every Mutex registers with a
+// load-control Runtime — normally the process-wide one — because load
+// control decisions are global: that is the point.
 type Mutex struct {
 	state atomic.Int32
-	ctl   *Controller
+	h     *lcrt.Handle
 }
 
-// NewMutex returns a mutex attached to ctl.
-func NewMutex(ctl *Controller) *Mutex {
-	if ctl == nil {
-		panic("golc: nil controller")
+// NewMutex returns a mutex registered with rt (the process-wide
+// Default runtime when rt is nil).
+func NewMutex(rt *lcrt.Runtime) *Mutex { return NewNamedMutex(rt, "mutex") }
+
+// NewNamedMutex is NewMutex with a metrics name for the lock.
+func NewNamedMutex(rt *lcrt.Runtime, name string) *Mutex {
+	if rt == nil {
+		rt = lcrt.Default()
 	}
-	return &Mutex{ctl: ctl}
+	return &Mutex{h: rt.Register(name)}
 }
+
+// Close unregisters the mutex from its runtime's metrics registry. The
+// mutex stays usable; Close only removes it from snapshots. Locks are
+// meant to be long-lived — short-lived mutexes on the Default runtime
+// must be Closed or the registry grows without bound.
+func (m *Mutex) Close() { m.h.Close() }
+
+// Stats returns the lock's per-lock counters.
+func (m *Mutex) Stats() lcrt.LockStats { return m.h.Stats() }
 
 // Lock acquires the mutex.
 func (m *Mutex) Lock() {
@@ -31,27 +47,26 @@ func (m *Mutex) Lock() {
 	if m.state.CompareAndSwap(0, 1) {
 		return
 	}
-	m.ctl.spinners.Add(1)
+	h := m.h
+	h.Spinning(1)
+	park := h.ParkThreshold()
 	spins := 0
 	for {
 		// Test-and-test-and-set: wait for the line to go free first.
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
-			m.ctl.spinners.Add(-1)
+			h.Spinning(-1)
+			h.NoteSpins(spins)
 			return
 		}
 		spins++
-		// Check the sleep slot buffer while polling (the paper's
-		// interleaved spin loop, §3.2.3); the no-openings case is two
-		// atomic loads.
-		if spins%64 == 0 {
-			if s := m.ctl.trySleep(); s != nil {
-				m.ctl.spinners.Add(-1)
-				m.ctl.sleep(s)
-				// Restart the acquire as if we just arrived.
-				m.ctl.spinners.Add(1)
-				spins = 0
-				continue
-			}
+		// After the spin-then-park threshold, check the sleep slot
+		// buffer while polling (the paper's interleaved spin loop,
+		// §3.2.3); the no-openings case is two atomic loads.
+		if spins%64 == 0 && spins >= park && h.Park() {
+			// Restart the acquire as if we just arrived.
+			h.NoteSpins(spins)
+			spins = 0
+			continue
 		}
 		if spins%256 == 0 {
 			// Cooperate with the Go scheduler: a hard spin can starve

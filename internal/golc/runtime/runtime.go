@@ -1,0 +1,467 @@
+// Package runtime is the process-wide load-control runtime: one
+// controller goroutine, one load sensor, and one shared sleep-slot pool
+// governing every load-controlled lock in the process.
+//
+// This is the paper's core architectural claim made concrete: contention
+// management is decoupled from scheduling by a single per-process load
+// controller, so adding a lock never adds a controller. Locks register
+// with a Runtime and receive a Handle; the Handle carries the lock's
+// side of the protocol (spinner census, slot claims, parking) and its
+// per-lock metrics. The controller periodically reads the load sensor —
+// by default a census of spinning waiters across all registered locks,
+// optionally a custom LoadFunc where a real runnable-thread signal
+// exists — and publishes a sleep target T. Spinning waiters claim sleep
+// slots against T exactly as in the paper (S/W counters, immediate
+// controller wakes on underload, a safety timeout).
+//
+// Most programs use the shared Default() runtime; tests and benchmarks
+// construct private ones with New.
+//
+// Two properties of the shared pool to know about:
+//
+//   - A lock whose waiters have all parked can sit free until the
+//     safety timeout (default 100ms) if other locks' spinners keep the
+//     global target high — the unlock path does not wake sleepers.
+//     This is the paper's design too: the safety timeout exists
+//     precisely to bound that stall. The SpinBeforePark threshold
+//     makes it rare (only genuinely convoyed waiters ever park).
+//   - Registered locks stay in the metrics registry until their
+//     Handle's Close is called. Locks are meant to be long-lived
+//     (shards, latches, global structures); code that creates
+//     transient locks on the Default runtime must Close them or the
+//     registry grows without bound.
+package runtime
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadFunc reports current excess load in runnable workers: the
+// controller will try to keep that many waiters asleep.
+type LoadFunc func() int
+
+// Options configures a Runtime.
+type Options struct {
+	// Interval between controller updates (default 2ms).
+	Interval time.Duration
+	// SleepTimeout bounds a sleeper's wait without a controller wake
+	// (default 100ms, as in the paper).
+	SleepTimeout time.Duration
+	// BufferCap is the physical sleep-slot array size (default 1024).
+	BufferCap int
+	// KeepSpinners is how many spinning waiters the default policy
+	// leaves awake to preserve fast handoffs (default 2).
+	KeepSpinners int
+	// SpinBeforePark is how many spin iterations a waiter must burn
+	// before it may claim a sleep slot (default 4096). Short waits —
+	// a reader gated by a pending writer, a briefly-held fine-grained
+	// latch — resolve in well under that, so only waiters in a real
+	// convoy (holder preempted, lock oversubscribed) ever park. With
+	// one hot lock this changes nothing: convoyed waiters blow past
+	// the threshold in microseconds of wall time.
+	SpinBeforePark int
+	// LoadFunc, when non-nil, replaces the default spinner-census
+	// sensor.
+	LoadFunc LoadFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.SleepTimeout == 0 {
+		o.SleepTimeout = 100 * time.Millisecond
+	}
+	if o.BufferCap == 0 {
+		o.BufferCap = 1024
+	}
+	if o.KeepSpinners == 0 {
+		o.KeepSpinners = 2
+	}
+	if o.SpinBeforePark == 0 {
+		o.SpinBeforePark = 4096
+	}
+	return o
+}
+
+// LockStats is the per-lock slice of a Snapshot.
+type LockStats struct {
+	Name            string
+	Spins           uint64 // spin-loop iterations while waiting
+	Blocks          uint64 // slot claims, each of which parks a waiter
+	ControllerWakes uint64 // parks ended by a controller wake
+	TimeoutWakes    uint64 // parks ended by the safety timeout
+}
+
+// Snapshot is a point-in-time view of the runtime, suitable for expvar.
+type Snapshot struct {
+	Updates         uint64
+	Claims          uint64
+	ControllerWakes uint64
+	TimeoutWakes    uint64
+	Spinners        int
+	Sleeping        int
+	Target          int
+	LocksRegistered int
+	Locks           []LockStats
+}
+
+// sleeper is one parked waiter: a channel closed by the controller wake.
+type sleeper struct {
+	ch  chan struct{}
+	idx int
+	h   *Handle
+}
+
+// Runtime owns the controller goroutine, the load sensor, and the
+// sleep-slot pool shared by every registered lock.
+type Runtime struct {
+	opts Options
+
+	// spinners is the process-wide census of goroutines currently
+	// spinning in a registered lock (the default load signal).
+	spinners atomic.Int64
+
+	// target is the published sleep target T.
+	target atomic.Int64
+
+	// s and w are the paper's S and W counters; s-w is the sleeper
+	// population. Reads are lock-free (the spinner fast path); slot
+	// mutations take mu.
+	s, w atomic.Uint64
+
+	mu    sync.Mutex
+	slots []*sleeper
+	scan  int
+
+	regMu sync.Mutex
+	locks map[*Handle]struct{}
+
+	updates         atomic.Uint64
+	claims          atomic.Uint64
+	controllerWakes atomic.Uint64
+	timeoutWakes    atomic.Uint64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a runtime; call Start to launch its controller goroutine.
+func New(opts Options) *Runtime {
+	o := opts.withDefaults()
+	return &Runtime{
+		opts:  o,
+		slots: make([]*sleeper, o.BufferCap),
+		locks: make(map[*Handle]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultRT   *Runtime
+)
+
+// Default returns the process-wide shared runtime, starting it (and
+// publishing its snapshot as the expvar "golc") on first use.
+func Default() *Runtime {
+	defaultOnce.Do(func() {
+		defaultRT = New(Options{})
+		defaultRT.Start()
+		defaultRT.Publish("golc")
+	})
+	return defaultRT
+}
+
+// Start launches the controller goroutine. Starting twice is a no-op.
+func (r *Runtime) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(r.done)
+		tick := time.NewTicker(r.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.update()
+			}
+		}
+	}()
+}
+
+// Stop terminates the controller and wakes every sleeper. Safe to call
+// more than once, and safe on a runtime that was never started.
+func (r *Runtime) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.started.Load() {
+		<-r.done
+	}
+	r.setTarget(0)
+}
+
+// Register attaches a lock to the runtime and returns its Handle. The
+// name is only for metrics; it need not be unique.
+func (r *Runtime) Register(name string) *Handle {
+	h := &Handle{rt: r, name: name}
+	r.regMu.Lock()
+	r.locks[h] = struct{}{}
+	r.regMu.Unlock()
+	return h
+}
+
+// unregister detaches a handle (see Handle.Close).
+func (r *Runtime) unregister(h *Handle) {
+	r.regMu.Lock()
+	delete(r.locks, h)
+	r.regMu.Unlock()
+}
+
+// Snapshot returns a consistent-enough view of global and per-lock
+// counters, per-lock entries sorted by name for stable output.
+func (r *Runtime) Snapshot() Snapshot {
+	snap := Snapshot{
+		Updates:         r.updates.Load(),
+		Claims:          r.claims.Load(),
+		ControllerWakes: r.controllerWakes.Load(),
+		TimeoutWakes:    r.timeoutWakes.Load(),
+		Spinners:        int(r.spinners.Load()),
+		Sleeping:        int(r.s.Load() - r.w.Load()),
+		Target:          int(r.target.Load()),
+	}
+	r.regMu.Lock()
+	snap.LocksRegistered = len(r.locks)
+	for h := range r.locks {
+		snap.Locks = append(snap.Locks, h.Stats())
+	}
+	r.regMu.Unlock()
+	sort.Slice(snap.Locks, func(i, j int) bool { return snap.Locks[i].Name < snap.Locks[j].Name })
+	return snap
+}
+
+var pubMu sync.Mutex
+
+// Publish exports the runtime's Snapshot as an expvar under name.
+// Publishing an already-taken name is a no-op (expvar forbids
+// re-publishing), so restarts and tests are safe.
+func (r *Runtime) Publish(name string) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// update is one controller cycle: read the sensor, publish T.
+func (r *Runtime) update() {
+	r.updates.Add(1)
+	var t int
+	if r.opts.LoadFunc != nil {
+		t = r.opts.LoadFunc()
+	} else {
+		// Spinner census: everyone beyond KeepSpinners should sleep,
+		// and current sleepers count against the same budget.
+		t = int(r.spinners.Load()) - r.opts.KeepSpinners + int(r.s.Load()-r.w.Load())
+	}
+	r.setTarget(t)
+}
+
+// setTarget publishes T and wakes surplus sleepers immediately.
+func (r *Runtime) setTarget(t int) {
+	if t < 0 {
+		t = 0
+	}
+	if t > len(r.slots) {
+		t = len(r.slots)
+	}
+	r.target.Store(int64(t))
+	if t == 0 {
+		// Wake until the pool is verifiably empty. Stop relies on
+		// this: a claim racing the store above either completes its
+		// slot insert under mu before a wakeOne scan (which then
+		// finds it) or fails its target re-check under mu. There is
+		// no herd to avoid — at target zero every sleeper must wake.
+		for r.wakeOne() {
+		}
+		return
+	}
+	// Wake exactly the surplus, computed once: a woken sleeper only
+	// increments w when it gets scheduled, so re-reading s-w here
+	// would count it as still asleep and a small target decrease
+	// would stampede every sleeper awake. A claim racing a decrease
+	// is healed by the next controller tick.
+	excess := int(r.s.Load()-r.w.Load()) - t
+	for i := 0; i < excess; i++ {
+		if !r.wakeOne() {
+			break
+		}
+	}
+}
+
+// wakeOne scans for an occupied slot, clears it and signals the sleeper.
+func (r *Runtime) wakeOne() bool {
+	r.mu.Lock()
+	n := len(r.slots)
+	for i := 0; i < n; i++ {
+		idx := (r.scan + i) % n
+		if s := r.slots[idx]; s != nil {
+			r.slots[idx] = nil
+			r.scan = (idx + 1) % n
+			r.mu.Unlock()
+			r.controllerWakes.Add(1)
+			if s.h != nil {
+				s.h.controllerWakes.Add(1)
+			}
+			close(s.ch)
+			return true
+		}
+	}
+	r.mu.Unlock()
+	return false
+}
+
+// trySleep attempts the spinner-side slot claim for h. It returns nil
+// when the buffer has no openings (the common fast path: two atomic
+// loads).
+func (r *Runtime) trySleep(h *Handle) *sleeper {
+	if int64(r.s.Load()-r.w.Load()) >= r.target.Load() {
+		return nil
+	}
+	r.mu.Lock()
+	if int64(r.s.Load()-r.w.Load()) >= r.target.Load() {
+		r.mu.Unlock()
+		return nil
+	}
+	idx := int(r.s.Load()) % len(r.slots)
+	if r.slots[idx] != nil {
+		r.mu.Unlock()
+		return nil // physical wrap onto an occupied slot
+	}
+	s := &sleeper{ch: make(chan struct{}), idx: idx, h: h}
+	r.slots[idx] = s
+	r.s.Add(1)
+	r.claims.Add(1)
+	r.mu.Unlock()
+	return s
+}
+
+// sleep parks until the controller wake or the timeout, then retires
+// from the buffer (W++), clearing its own slot on the timeout path.
+func (r *Runtime) sleep(s *sleeper) {
+	timer := time.NewTimer(r.opts.SleepTimeout)
+	select {
+	case <-s.ch:
+	case <-timer.C:
+	}
+	timer.Stop()
+	r.mu.Lock()
+	if r.slots[s.idx] == s {
+		r.slots[s.idx] = nil
+		r.timeoutWakes.Add(1)
+		if s.h != nil {
+			s.h.timeoutWakes.Add(1)
+		}
+	}
+	r.w.Add(1)
+	r.mu.Unlock()
+}
+
+// Handle is one registered lock's connection to the runtime: the
+// lock-side protocol plus per-lock counters.
+type Handle struct {
+	rt   *Runtime
+	name string
+
+	spins           atomic.Uint64
+	blocks          atomic.Uint64
+	controllerWakes atomic.Uint64
+	timeoutWakes    atomic.Uint64
+}
+
+// Name returns the name given at registration.
+func (h *Handle) Name() string { return h.name }
+
+// ParkThreshold returns the runtime's SpinBeforePark setting; locks
+// gate their Park calls on it.
+func (h *Handle) ParkThreshold() int { return h.rt.opts.SpinBeforePark }
+
+// Runtime returns the runtime this handle is registered with.
+func (h *Handle) Runtime() *Runtime { return h.rt }
+
+// Close unregisters the lock from the runtime's metrics registry. The
+// handle remains usable (a closed handle only stops appearing in
+// Snapshot), so a racing Lock never observes a torn-down handle.
+func (h *Handle) Close() { h.rt.unregister(h) }
+
+// Spinning adjusts the shared spinner census by delta. Locks call
+// Spinning(1) when a waiter starts spinning and Spinning(-1) when it
+// acquires or gives up.
+func (h *Handle) Spinning(delta int) { h.rt.spinners.Add(int64(delta)) }
+
+// NoteSpins adds n spin-loop iterations to the lock's counters. Locks
+// batch this (accumulate locally, report on exit) to keep the spin loop
+// free of shared-counter traffic.
+func (h *Handle) NoteSpins(n int) { h.spins.Add(uint64(n)) }
+
+// A Ticket is a claimed sleep slot that has not been slept on yet. The
+// two-phase claim/sleep split lets a lock release auxiliary state only
+// once the park is certain — e.g. a writer dropping its
+// writer-preference claim: dropping it on every failed claim attempt
+// would leak readers past a waiting writer.
+type Ticket struct {
+	h *Handle
+	s *sleeper
+}
+
+// TryClaim attempts the spinner-side slot claim without sleeping. The
+// no-openings case is two atomic loads.
+func (h *Handle) TryClaim() (Ticket, bool) {
+	s := h.rt.trySleep(h)
+	if s == nil {
+		return Ticket{}, false
+	}
+	h.blocks.Add(1)
+	return Ticket{h: h, s: s}, true
+}
+
+// Sleep parks on the claimed slot until a controller wake or the
+// safety timeout. The caller must currently be counted in the census;
+// Sleep removes it while asleep and restores it before returning.
+func (t Ticket) Sleep() {
+	t.h.rt.spinners.Add(-1)
+	t.h.rt.sleep(t.s)
+	t.h.rt.spinners.Add(1)
+}
+
+// Park is TryClaim+Sleep in one step: when a slot is open it parks the
+// caller and returns true.
+func (h *Handle) Park() bool {
+	t, ok := h.TryClaim()
+	if !ok {
+		return false
+	}
+	t.Sleep()
+	return true
+}
+
+// Stats returns the lock's counters.
+func (h *Handle) Stats() LockStats {
+	return LockStats{
+		Name:            h.name,
+		Spins:           h.spins.Load(),
+		Blocks:          h.blocks.Load(),
+		ControllerWakes: h.controllerWakes.Load(),
+		TimeoutWakes:    h.timeoutWakes.Load(),
+	}
+}

@@ -1,0 +1,294 @@
+package runtime
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegisterUnregisterConcurrent(t *testing.T) {
+	rt := New(Options{Interval: time.Millisecond})
+	rt.Start()
+	defer rt.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h := rt.Register(fmt.Sprintf("lock-%d-%d", id, j))
+				h.Spinning(1)
+				h.NoteSpins(1)
+				h.Spinning(-1)
+				h.Close()
+			}
+		}(i)
+	}
+	// Snapshot continuously while the registry churns.
+	stop := make(chan struct{})
+	var snapper sync.WaitGroup
+	snapper.Add(1)
+	go func() {
+		defer snapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = rt.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapper.Wait()
+	if n := rt.Snapshot().LocksRegistered; n != 0 {
+		t.Fatalf("registry not empty after churn: %d locks", n)
+	}
+	if rt.spinners.Load() != 0 {
+		t.Fatalf("census nonzero after churn: %d", rt.spinners.Load())
+	}
+}
+
+func TestSleeperTimeoutPath(t *testing.T) {
+	rt := New(Options{SleepTimeout: 20 * time.Millisecond})
+	// Don't start the controller: force a target manually and claim.
+	rt.setTarget(1)
+	h := rt.Register("timeout")
+	s := rt.trySleep(h)
+	if s == nil {
+		t.Fatal("claim failed with open target")
+	}
+	start := time.Now()
+	rt.sleep(s)
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("sleep returned before timeout without a wake")
+	}
+	snap := rt.Snapshot()
+	if snap.TimeoutWakes != 1 || snap.Sleeping != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if ls := h.Stats(); ls.TimeoutWakes != 1 {
+		t.Fatalf("per-lock stats = %+v", ls)
+	}
+}
+
+func TestControllerWakePath(t *testing.T) {
+	rt := New(Options{SleepTimeout: 10 * time.Second})
+	rt.setTarget(1)
+	h := rt.Register("wake")
+	s := rt.trySleep(h)
+	if s == nil {
+		t.Fatal("claim failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.sleep(s)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	rt.setTarget(0) // must wake the sleeper promptly
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("controller wake did not release the sleeper")
+	}
+	snap := rt.Snapshot()
+	if snap.ControllerWakes != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if ls := h.Stats(); ls.ControllerWakes != 1 {
+		t.Fatalf("per-lock stats = %+v", ls)
+	}
+}
+
+func TestTrySleepRespectsTarget(t *testing.T) {
+	rt := New(Options{})
+	h := rt.Register("target")
+	if s := rt.trySleep(h); s != nil {
+		t.Fatal("claim succeeded with zero target")
+	}
+	rt.setTarget(2)
+	s1 := rt.trySleep(h)
+	s2 := rt.trySleep(h)
+	s3 := rt.trySleep(h)
+	if s1 == nil || s2 == nil {
+		t.Fatal("claims under target failed")
+	}
+	if s3 != nil {
+		t.Fatal("claim beyond target succeeded")
+	}
+}
+
+func TestSlotPoolHandoffConcurrent(t *testing.T) {
+	// Many goroutines park and get woken while the target oscillates:
+	// S/W accounting must balance and nobody may hang.
+	rt := New(Options{SleepTimeout: 50 * time.Millisecond, BufferCap: 64})
+	h := rt.Register("handoff")
+	var wg sync.WaitGroup
+	var parked atomic.Uint64
+	stop := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Spinning(1)
+				if h.Park() {
+					parked.Add(1)
+				}
+				h.Spinning(-1)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		rt.setTarget(16)
+		time.Sleep(time.Millisecond)
+		rt.setTarget(0)
+	}
+	close(stop)
+	rt.setTarget(0) // release stragglers claimed after the last wake
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked goroutines never drained")
+	}
+	snap := rt.Snapshot()
+	if snap.Sleeping != 0 {
+		t.Fatalf("sleepers leaked: %+v", snap)
+	}
+	if parked.Load() == 0 || snap.Claims == 0 {
+		t.Fatal("no handoffs exercised")
+	}
+	if snap.ControllerWakes+snap.TimeoutWakes != snap.Claims {
+		t.Fatalf("wake accounting mismatch: %+v", snap)
+	}
+}
+
+func TestStopUnstartedRuntime(t *testing.T) {
+	rt := New(Options{})
+	rt.Stop() // must not hang or panic
+	rt.Stop() // idempotent
+}
+
+func TestStopWakesParkedWaiters(t *testing.T) {
+	rt := New(Options{
+		Interval:     time.Millisecond,
+		SleepTimeout: 10 * time.Second,
+		LoadFunc:     func() int { return 4 },
+	})
+	rt.Start()
+	h := rt.Register("shutdown")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Spinning(1)
+			// Retry until a slot opens (the first controller tick may
+			// not have published the target yet).
+			for !h.Park() {
+				time.Sleep(100 * time.Microsecond)
+			}
+			h.Spinning(-1)
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Snapshot().Sleeping < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sleepers never accumulated: %+v", rt.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rt.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop left waiters parked")
+	}
+}
+
+func TestDefaultPolicyTargetsExcessSpinners(t *testing.T) {
+	rt := New(Options{KeepSpinners: 2})
+	h := rt.Register("policy")
+	h.Spinning(5)
+	rt.update()
+	if got := rt.Snapshot().Target; got != 3 {
+		t.Fatalf("target = %d, want 3 (5 spinners - 2 kept)", got)
+	}
+	h.Spinning(-5)
+	rt.update()
+	if got := rt.Snapshot().Target; got != 0 {
+		t.Fatalf("target = %d, want 0", got)
+	}
+}
+
+func TestCustomLoadFunc(t *testing.T) {
+	var excess atomic.Int64
+	rt := New(Options{
+		Interval: time.Millisecond,
+		LoadFunc: func() int { return int(excess.Load()) },
+	})
+	rt.Start()
+	defer rt.Stop()
+	excess.Store(4)
+	waitFor(t, "target=4", func() bool { return rt.Snapshot().Target == 4 })
+	excess.Store(0)
+	waitFor(t, "target=0", func() bool { return rt.Snapshot().Target == 0 })
+}
+
+func TestPublishExpvar(t *testing.T) {
+	rt := New(Options{})
+	h := rt.Register("published-lock")
+	defer h.Close()
+	rt.Publish("golc-test")
+	rt.Publish("golc-test") // duplicate must not panic
+	v := expvar.Get("golc-test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar snapshot is not JSON: %v", err)
+	}
+	if snap.LocksRegistered != 1 || len(snap.Locks) != 1 || snap.Locks[0].Name != "published-lock" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestDefaultRuntimeSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default returned distinct runtimes")
+	}
+	if expvar.Get("golc") == nil {
+		t.Fatal("default runtime not published as expvar \"golc\"")
+	}
+}
+
+// waitFor polls cond for up to 5s (spinning workers can starve the
+// controller goroutine briefly, especially under -race).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition %q not reached within 5s", what)
+}

@@ -1,0 +1,227 @@
+package golc
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	lcrt "repro/internal/golc/runtime"
+)
+
+// RWMutex is a load-controlled reader/writer spinlock. Readers share
+// the lock; a pending writer gates new readers (writer preference) so
+// writers cannot starve under a steady read stream. Both reader and
+// writer spin loops follow the same slot-buffer protocol as Mutex, so
+// every waiter — read or write — is governed by the shared runtime.
+//
+// state encodes the lock: -1 while a writer holds it, otherwise the
+// reader count. wwait counts writers waiting (it gates new readers).
+type RWMutex struct {
+	state atomic.Int32
+	wwait atomic.Int32
+	h     *lcrt.Handle
+}
+
+// NewRWMutex returns a reader/writer lock registered with rt (the
+// process-wide Default runtime when rt is nil).
+func NewRWMutex(rt *lcrt.Runtime) *RWMutex { return NewNamedRWMutex(rt, "rwmutex") }
+
+// NewNamedRWMutex is NewRWMutex with a metrics name for the lock.
+func NewNamedRWMutex(rt *lcrt.Runtime, name string) *RWMutex {
+	if rt == nil {
+		rt = lcrt.Default()
+	}
+	return &RWMutex{h: rt.Register(name)}
+}
+
+// Close unregisters the lock from its runtime's metrics registry. The
+// lock stays usable; Close only removes it from snapshots.
+func (m *RWMutex) Close() { m.h.Close() }
+
+// Stats returns the lock's per-lock counters.
+func (m *RWMutex) Stats() lcrt.LockStats { return m.h.Stats() }
+
+// RLock acquires the lock for reading.
+func (m *RWMutex) RLock() {
+	// Uncontended fast path.
+	if m.wwait.Load() == 0 {
+		if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
+			return
+		}
+	}
+	h := m.h
+	h.Spinning(1)
+	park := h.ParkThreshold()
+	spins := 0
+	for {
+		if m.wwait.Load() == 0 {
+			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
+				h.Spinning(-1)
+				h.NoteSpins(spins)
+				return
+			}
+		}
+		spins++
+		if spins%64 == 0 && spins >= park && h.Park() {
+			h.NoteSpins(spins)
+			spins = 0
+			continue
+		}
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// RUnlock releases one read hold. Validation happens before the
+// decrement: a bad RUnlock must not corrupt state into the writer-held
+// encoding (a recovered panic would leave the lock wedged).
+func (m *RWMutex) RUnlock() {
+	for {
+		s := m.state.Load()
+		if s <= 0 {
+			panic("golc: RUnlock of RWMutex not held for reading")
+		}
+		if m.state.CompareAndSwap(s, s-1) {
+			return
+		}
+	}
+}
+
+// Lock acquires the lock for writing.
+func (m *RWMutex) Lock() {
+	m.wwait.Add(1)
+	if m.state.CompareAndSwap(0, -1) {
+		m.wwait.Add(-1)
+		return
+	}
+	h := m.h
+	h.Spinning(1)
+	park := h.ParkThreshold()
+	spins := 0
+	for {
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
+			m.wwait.Add(-1)
+			h.Spinning(-1)
+			h.NoteSpins(spins)
+			return
+		}
+		spins++
+		if spins%64 == 0 && spins >= park {
+			if t, ok := h.TryClaim(); ok {
+				// Drop the writer-preference claim only while actually
+				// asleep: a sleeping writer that kept wwait raised
+				// would gate every reader for up to the sleep timeout,
+				// while dropping it on failed claims would leak
+				// readers past a waiting writer every 64 spins.
+				m.wwait.Add(-1)
+				t.Sleep()
+				m.wwait.Add(1)
+				h.NoteSpins(spins)
+				spins = 0
+				continue
+			}
+		}
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// LockNested acquires the lock for writing WITHOUT ever parking, for
+// acquires made while the caller already holds another load-controlled
+// lock. A waiter that parked while holding a lock would stall every
+// waiter of that lock for up to the sleep timeout — the same reason the
+// paper's controller never blocks lock holders (holder wakeup, §3.2.2).
+// The spin is still counted in the census, so it remains visible load.
+func (m *RWMutex) LockNested() {
+	m.wwait.Add(1)
+	if m.state.CompareAndSwap(0, -1) {
+		m.wwait.Add(-1)
+		return
+	}
+	h := m.h
+	h.Spinning(1)
+	spins := 0
+	for {
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
+			m.wwait.Add(-1)
+			h.Spinning(-1)
+			h.NoteSpins(spins)
+			return
+		}
+		spins++
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the write hold.
+func (m *RWMutex) Unlock() {
+	if !m.state.CompareAndSwap(-1, 0) {
+		panic("golc: Unlock of RWMutex not held for writing")
+	}
+}
+
+// SpinRWMutex is the uncontrolled baseline: the same reader/writer
+// spinlock with no load control (only Gosched cooperation).
+type SpinRWMutex struct {
+	state atomic.Int32
+	wwait atomic.Int32
+}
+
+// NewSpinRWMutex returns an uncontrolled reader/writer spinlock.
+func NewSpinRWMutex() *SpinRWMutex { return &SpinRWMutex{} }
+
+// RLock acquires the lock for reading.
+func (m *SpinRWMutex) RLock() {
+	spins := 0
+	for {
+		if m.wwait.Load() == 0 {
+			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
+				return
+			}
+		}
+		spins++
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// RUnlock releases one read hold (validating before decrementing, as
+// RWMutex.RUnlock does).
+func (m *SpinRWMutex) RUnlock() {
+	for {
+		s := m.state.Load()
+		if s <= 0 {
+			panic("golc: RUnlock of SpinRWMutex not held for reading")
+		}
+		if m.state.CompareAndSwap(s, s-1) {
+			return
+		}
+	}
+}
+
+// Lock acquires the lock for writing.
+func (m *SpinRWMutex) Lock() {
+	m.wwait.Add(1)
+	spins := 0
+	for {
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
+			m.wwait.Add(-1)
+			return
+		}
+		spins++
+		if spins%256 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the write hold.
+func (m *SpinRWMutex) Unlock() {
+	if !m.state.CompareAndSwap(-1, 0) {
+		panic("golc: Unlock of SpinRWMutex not held for writing")
+	}
+}

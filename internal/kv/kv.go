@@ -1,0 +1,325 @@
+// Package kv is a real (non-simulated) sharded in-memory key-value
+// store running on load-controlled locks: the first subsystem that
+// exercises the paper's mechanism as an actual service rather than a
+// simulation.
+//
+// The latch structure mirrors internal/storage: N shards each guarded
+// by its own reader/writer latch (bucket-per-latch, Fibonacci-spread
+// hashing), plus a striped secondary index mapping values back to the
+// keys that hold them. All latches register with one process-wide
+// load-control runtime, so contention on any shard is governed by the
+// same controller — the paper's decoupling claim, end to end.
+//
+// Lock ordering: a shard latch may be held while acquiring index
+// stripe latches; stripe latches are always acquired in ascending
+// stripe order; neither is ever held while acquiring a shard latch.
+// This makes Put/Delete deadlock-free against each other and against
+// Scan (shard latches only, one at a time) and Lookup (one stripe
+// latch only).
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+)
+
+// LockMode selects the latch implementation for every shard and stripe.
+type LockMode int
+
+const (
+	// LoadControlled uses golc.RWMutex registered with a shared
+	// load-control runtime (the real deployment mode).
+	LoadControlled LockMode = iota
+	// Spin uses the uncontrolled spin baseline (golc.SpinRWMutex) —
+	// the paper's "what collapses under oversubscription" comparison.
+	Spin
+	// Std uses sync.RWMutex, the Go-native reference point.
+	Std
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LoadControlled:
+		return "load-control"
+	case Spin:
+		return "spin"
+	case Std:
+		return "std"
+	default:
+		return fmt.Sprintf("LockMode(%d)", int(m))
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of primary shards (default 16).
+	Shards int
+	// IndexStripes is the number of secondary-index stripes
+	// (default 8).
+	IndexStripes int
+	// Mode selects the latch implementation (default LoadControlled).
+	Mode LockMode
+	// Runtime is the load-control runtime latches register with when
+	// Mode is LoadControlled (default: the process-wide runtime).
+	Runtime *lcrt.Runtime
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.IndexStripes <= 0 {
+		o.IndexStripes = 8
+	}
+	return o
+}
+
+// KV is one key-value pair, as returned by Scan.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// shard is one primary bucket: a latch and its rows.
+type shard struct {
+	mu    golc.RWLocker
+	items map[string]string
+}
+
+// stripe is one secondary-index bucket: value -> set of keys.
+// lockNested is the write acquire used while a shard latch is held; it
+// is bound at construction to the latch's non-parking variant when one
+// exists (see New).
+type stripe struct {
+	mu         golc.RWLocker
+	lockNested func()
+	keys       map[string]map[string]struct{}
+}
+
+// Store is the sharded store. Create with New.
+type Store struct {
+	opts    Options
+	shards  []*shard
+	stripes []*stripe
+}
+
+// New builds a store. With Mode == LoadControlled and a nil Runtime,
+// latches register with the process-wide default runtime.
+func New(opts Options) *Store {
+	o := opts.withDefaults()
+	newLatch := func(name string) golc.RWLocker {
+		switch o.Mode {
+		case Spin:
+			return golc.NewSpinRWMutex()
+		case Std:
+			return new(sync.RWMutex)
+		default:
+			return golc.NewNamedRWMutex(o.Runtime, name)
+		}
+	}
+	s := &Store{opts: o}
+	for i := 0; i < o.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			mu:    newLatch(fmt.Sprintf("kv/shard-%03d", i)),
+			items: make(map[string]string),
+		})
+	}
+	for i := 0; i < o.IndexStripes; i++ {
+		st := &stripe{
+			mu:   newLatch(fmt.Sprintf("kv/stripe-%03d", i)),
+			keys: make(map[string]map[string]struct{}),
+		}
+		// Stripe latches are acquired under a shard latch, so the
+		// acquire must never park (a parked holder stalls every
+		// waiter of the shard for up to the sleep timeout — see
+		// golc.RWMutex.LockNested). Bind the non-parking variant
+		// here; the plain Lock of the Spin and Std modes never parks,
+		// so it is equally safe.
+		if nl, ok := st.mu.(interface{ LockNested() }); ok {
+			st.lockNested = nl.LockNested
+		} else {
+			st.lockNested = st.mu.Lock
+		}
+		s.stripes = append(s.stripes, st)
+	}
+	return s
+}
+
+// Close unregisters the store's latches from the load-control runtime
+// (a no-op in other modes). The store stays usable.
+func (s *Store) Close() {
+	for _, sh := range s.shards {
+		if m, ok := sh.mu.(*golc.RWMutex); ok {
+			m.Close()
+		}
+	}
+	for _, st := range s.stripes {
+		if m, ok := st.mu.(*golc.RWMutex); ok {
+			m.Close()
+		}
+	}
+}
+
+// fnv64a is FNV-1a, the key hash.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardIndex reports which of n shards key routes to. Exported for the
+// routing tests; Fibonacci hashing spreads clustered hash values, the
+// same trick internal/storage uses for its bucket latches.
+func ShardIndex(key string, n int) int {
+	return int((fnv64a(key) * 0x9e3779b97f4a7c15) % uint64(n))
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[ShardIndex(key, len(s.shards))]
+}
+
+func (s *Store) stripeIdx(value string) int {
+	return ShardIndex(value, len(s.stripes))
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) (string, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	v, ok := sh.items[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores value under key and returns the previous value, if any.
+// The secondary index is updated under the shard latch, so index and
+// store never disagree about a key's current value.
+func (s *Store) Put(key, value string) (string, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, existed := sh.items[key]
+	sh.items[key] = value
+	if !existed || old != value {
+		s.reindex(key, old, existed, value, true)
+	}
+	sh.mu.Unlock()
+	return old, existed
+}
+
+// Delete removes key, returning the removed value, if any.
+func (s *Store) Delete(key string) (string, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, existed := sh.items[key]
+	if existed {
+		delete(sh.items, key)
+		s.reindex(key, old, true, "", false)
+	}
+	sh.mu.Unlock()
+	return old, existed
+}
+
+// reindex moves key from the old value's posting set to the new one.
+// Called with the key's shard latch held; takes the affected stripe
+// latches in ascending order (see the package lock-ordering note).
+func (s *Store) reindex(key, old string, hadOld bool, value string, hasNew bool) {
+	oi, ni := -1, -1
+	if hadOld {
+		oi = s.stripeIdx(old)
+	}
+	if hasNew {
+		ni = s.stripeIdx(value)
+	}
+	// Distinct affected stripes, ascending.
+	held := make([]int, 0, 2)
+	if oi >= 0 {
+		held = append(held, oi)
+	}
+	if ni >= 0 && ni != oi {
+		held = append(held, ni)
+	}
+	sort.Ints(held)
+	for _, i := range held {
+		s.stripes[i].lockNested()
+	}
+	if hadOld {
+		set := s.stripes[oi].keys[old]
+		delete(set, key)
+		if len(set) == 0 {
+			delete(s.stripes[oi].keys, old)
+		}
+	}
+	if hasNew {
+		set := s.stripes[ni].keys[value]
+		if set == nil {
+			set = make(map[string]struct{})
+			s.stripes[ni].keys[value] = set
+		}
+		set[key] = struct{}{}
+	}
+	for _, i := range held {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+// Lookup returns the keys currently holding value (secondary index),
+// sorted.
+func (s *Store) Lookup(value string) []string {
+	st := s.stripes[s.stripeIdx(value)]
+	st.mu.RLock()
+	set := st.keys[value]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	st.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Scan returns up to limit pairs whose key has the given prefix, in
+// key order (limit <= 0 means no limit). It latches one shard at a
+// time, so a scan is not a point-in-time snapshot across shards —
+// the same non-guarantee internal/storage's table scans make.
+func (s *Store) Scan(prefix string, limit int) []KV {
+	var out []KV
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, v := range sh.items {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, KV{Key: k, Value: v})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len returns the total number of keys.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Shards returns the shard count (for routing tests and stats).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Mode returns the store's lock mode.
+func (s *Store) Mode() LockMode { return s.opts.Mode }

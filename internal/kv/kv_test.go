@@ -1,0 +1,222 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	lcrt "repro/internal/golc/runtime"
+)
+
+func newTestStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Mode == LoadControlled && opts.Runtime == nil {
+		rt := lcrt.New(lcrt.Options{Interval: time.Millisecond})
+		rt.Start()
+		t.Cleanup(rt.Stop)
+		opts.Runtime = rt
+	}
+	s := New(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestShardRouting is the routing table test: fixed expectations (the
+// hash is part of the on-wire contract of nothing, but stable routing
+// is what the shard-latch design hangs off), plus stability and range
+// properties.
+func TestShardRouting(t *testing.T) {
+	cases := []struct {
+		key     string
+		shard16 int
+		shard7  int
+	}{
+		{"alpha", 7, 3},
+		{"beta", 3, 5},
+		{"gamma", 2, 6},
+		{"delta", 5, 3},
+		{"user:0001", 7, 1},
+		{"user:0002", 6, 6},
+		{"user:0003", 5, 4},
+		{"", 9, 1},
+		{"k", 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("key=%q", tc.key), func(t *testing.T) {
+			if got := ShardIndex(tc.key, 16); got != tc.shard16 {
+				t.Errorf("ShardIndex(%q, 16) = %d, want %d", tc.key, got, tc.shard16)
+			}
+			if got := ShardIndex(tc.key, 7); got != tc.shard7 {
+				t.Errorf("ShardIndex(%q, 7) = %d, want %d", tc.key, got, tc.shard7)
+			}
+			// Stability: routing is a pure function.
+			if a, b := ShardIndex(tc.key, 16), ShardIndex(tc.key, 16); a != b {
+				t.Errorf("routing not stable: %d then %d", a, b)
+			}
+		})
+	}
+	// Range and spread: 10k sequential keys must land in [0,n) and
+	// leave no shard empty (Fibonacci spread).
+	for _, n := range []int{1, 2, 16, 64} {
+		hit := make([]int, n)
+		for i := 0; i < 10000; i++ {
+			idx := ShardIndex(fmt.Sprintf("key-%05d", i), n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("ShardIndex out of range: %d with n=%d", idx, n)
+			}
+			hit[idx]++
+		}
+		for s, c := range hit {
+			if c == 0 {
+				t.Errorf("n=%d: shard %d never hit by 10k sequential keys", n, s)
+			}
+		}
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for _, mode := range []LockMode{LoadControlled, Spin, Std} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestStore(t, Options{Shards: 8, IndexStripes: 4, Mode: mode})
+			if _, ok := s.Get("a"); ok {
+				t.Fatal("get on empty store")
+			}
+			if old, existed := s.Put("a", "1"); existed {
+				t.Fatalf("fresh put reported old value %q", old)
+			}
+			if v, ok := s.Get("a"); !ok || v != "1" {
+				t.Fatalf("get = %q,%v", v, ok)
+			}
+			if old, existed := s.Put("a", "2"); !existed || old != "1" {
+				t.Fatalf("overwrite = %q,%v", old, existed)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("len = %d", s.Len())
+			}
+			if old, existed := s.Delete("a"); !existed || old != "2" {
+				t.Fatalf("delete = %q,%v", old, existed)
+			}
+			if _, ok := s.Get("a"); ok {
+				t.Fatal("get after delete")
+			}
+			if _, existed := s.Delete("a"); existed {
+				t.Fatal("double delete reported a value")
+			}
+		})
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	s.Put("a", "red")
+	s.Put("b", "red")
+	s.Put("c", "blue")
+	if got := s.Lookup("red"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Lookup(red) = %v", got)
+	}
+	// Overwrite moves the key between posting sets.
+	s.Put("a", "blue")
+	if got := s.Lookup("red"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Lookup(red) after move = %v", got)
+	}
+	if got := s.Lookup("blue"); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Lookup(blue) = %v", got)
+	}
+	// Delete removes the posting.
+	s.Delete("b")
+	if got := s.Lookup("red"); len(got) != 0 {
+		t.Fatalf("Lookup(red) after delete = %v", got)
+	}
+	// Idempotent same-value put leaves the index intact.
+	s.Put("c", "blue")
+	if got := s.Lookup("blue"); len(got) != 2 {
+		t.Fatalf("Lookup(blue) after same-value put = %v", got)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("user:%04d", i), fmt.Sprintf("v%d", i))
+	}
+	s.Put("other", "x")
+	all := s.Scan("user:", 0)
+	if len(all) != 50 {
+		t.Fatalf("scan matched %d keys, want 50", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key >= all[i].Key {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, all[i-1].Key, all[i].Key)
+		}
+	}
+	limited := s.Scan("user:", 7)
+	if len(limited) != 7 || limited[0].Key != "user:0000" {
+		t.Fatalf("limited scan = %d pairs, first %q", len(limited), limited[0].Key)
+	}
+	if got := s.Scan("", 0); len(got) != 51 {
+		t.Fatalf("empty-prefix scan = %d, want 51", len(got))
+	}
+	if got := s.Scan("zzz", 0); len(got) != 0 {
+		t.Fatalf("no-match scan = %v", got)
+	}
+}
+
+// TestConcurrentMixedOps drives every operation from many goroutines
+// under -race, then verifies store/index agreement.
+func TestConcurrentMixedOps(t *testing.T) {
+	for _, mode := range []LockMode{LoadControlled, Spin, Std} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestStore(t, Options{Shards: 8, IndexStripes: 4, Mode: mode})
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 2000; i++ {
+						key := fmt.Sprintf("k%03d", rng.Intn(100))
+						val := fmt.Sprintf("v%d", rng.Intn(10))
+						switch rng.Intn(10) {
+						case 0:
+							s.Delete(key)
+						case 1, 2:
+							s.Put(key, val)
+						case 3:
+							s.Scan("k0", 10)
+						case 4:
+							s.Lookup(val)
+						default:
+							s.Get(key)
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			// Quiescent check: every stored key is indexed under its
+			// value, and every index posting points at a live key.
+			pairs := s.Scan("", 0)
+			for _, p := range pairs {
+				found := false
+				for _, k := range s.Lookup(p.Value) {
+					if k == p.Key {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("key %q (value %q) missing from index", p.Key, p.Value)
+				}
+			}
+			for d := 0; d < 10; d++ {
+				val := fmt.Sprintf("v%d", d)
+				for _, k := range s.Lookup(val) {
+					if v, ok := s.Get(k); !ok || v != val {
+						t.Fatalf("index posting %q->%q stale (store has %q,%v)", val, k, v, ok)
+					}
+				}
+			}
+		})
+	}
+}
