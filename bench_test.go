@@ -16,6 +16,7 @@ package repro
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -212,6 +213,108 @@ func BenchmarkGolcSharedRuntime64Locks(b *testing.B) { benchManyLocks(b, true) }
 
 // BenchmarkGolcPerLockRuntime64Locks: 64 locks, 64 controller goroutines.
 func BenchmarkGolcPerLockRuntime64Locks(b *testing.B) { benchManyLocks(b, false) }
+
+// benchAdversarialHandoff is the stranded-lock scenario measured
+// precisely: a constant LoadFunc stands in for a hot lock's spinners
+// (keeping the sleep target high with no census noise), the cold
+// lock's only waiter parks, and each iteration times one
+// unlock-to-reacquire handoff. With the unlock-side wake the handoff
+// is microseconds; with it disabled (the timeout-only original
+// design) the lock sits free until the 100ms safety timeout.
+func benchAdversarialHandoff(b *testing.B, disableWake bool) {
+	rt := lcrt.New(lcrt.Options{
+		Interval:          time.Millisecond,
+		SpinBeforePark:    64,
+		LoadFunc:          func() int { return 64 },
+		DisableUnlockWake: disableWake,
+	})
+	rt.Start()
+	defer rt.Stop()
+	mu := golc.NewNamedMutex(rt, "cold")
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(stop) }) }
+	// Fatalf exits through this goroutine's defers: without stopAll the
+	// waiter would spin forever and skew every later benchmark.
+	defer stopAll()
+	var wg sync.WaitGroup
+	// Release timestamps are monotonic nanoseconds since t0 (never 0 on
+	// a release, which lets 0 mean "no pending measurement"): wall-clock
+	// UnixNano differences would let an NTP step corrupt the samples.
+	t0 := time.Now()
+	var relNs atomic.Int64
+	handoff := make(chan time.Duration, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			if rel := relNs.Swap(0); rel != 0 {
+				handoff <- time.Since(t0) - time.Duration(rel)
+			} else {
+				// Inter-round acquisition: back off so the holder can
+				// take the lock and start the next round.
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			mu.Unlock()
+		}
+	}()
+
+	samples := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		// Wait until the waiter has parked (it is the only possible
+		// sleeper on this runtime).
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Snapshot().Sleeping == 0 {
+			if time.Now().After(deadline) {
+				mu.Unlock() // let the waiter observe stop and drain
+				b.Fatalf("waiter never parked: %+v", rt.Snapshot())
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		relNs.Store(int64(time.Since(t0)))
+		mu.Unlock()
+		select {
+		case d := <-handoff:
+			samples = append(samples, d)
+		case <-time.After(5 * time.Second):
+			b.Fatalf("handoff never completed: %+v", rt.Snapshot())
+		}
+	}
+	b.StopTimer()
+	stopAll()
+	wg.Wait()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) float64 {
+		return float64(samples[int(p*float64(len(samples)-1))].Nanoseconds())
+	}
+	b.ReportMetric(q(0.50), "handoff-p50-ns")
+	b.ReportMetric(q(0.99), "handoff-p99-ns")
+	st := mu.Stats()
+	b.ReportMetric(float64(st.UnlockWakes), "unlock-wakes")
+	b.ReportMetric(float64(st.TimeoutWakes), "timeout-wakes")
+	if !disableWake && st.UnlockWakes == 0 {
+		b.Fatal("unlock-side wake never fired in the adversarial scenario")
+	}
+}
+
+// BenchmarkGolcAdversarialUnlockWake: handoff with the unlock-side
+// wake (this PR's design).
+func BenchmarkGolcAdversarialUnlockWake(b *testing.B) { benchAdversarialHandoff(b, false) }
+
+// BenchmarkGolcAdversarialTimeoutOnly: the before picture — the same
+// scenario with only controller wakes and the safety timeout.
+func BenchmarkGolcAdversarialTimeoutOnly(b *testing.B) { benchAdversarialHandoff(b, true) }
 
 // BenchmarkGolcVsSyncMutex compares against the standard library under
 // the same contention for reference.

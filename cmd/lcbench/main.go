@@ -9,9 +9,19 @@
 // -perlock flag reproduces the old design (a private runtime per lock)
 // for comparison.
 //
+// The -adversarial flag runs the unlock-side-wake scenario instead:
+// one hot lock's spinners keep the global sleep target high while a
+// second (cold) lock's waiters all park; the tool measures the
+// unlock-to-reacquire handoff latency of the cold lock. With the
+// unlock-side wake (default) the handoff is microseconds; with -nowake
+// (the paper's original timeout-only design) the cold lock sits free
+// until the 100ms safety timeout.
+//
 // Usage:
 //
 //	lcbench -goroutines 64 -locks 8 -cs 500ns -think 2us -duration 3s -lc
+//	lcbench -adversarial
+//	lcbench -adversarial -nowake   # ablation: timeout-only wakes
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,15 +40,25 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("goroutines", 4*runtime.GOMAXPROCS(0), "worker goroutines")
-		nlocks   = flag.Int("locks", 1, "contended locks (workers round-robin across them)")
-		cs       = flag.Duration("cs", 500*time.Nanosecond, "critical section length")
-		think    = flag.Duration("think", 2*time.Microsecond, "think time between acquires")
-		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
-		useLC    = flag.Bool("lc", true, "enable load control")
-		perLock  = flag.Bool("perlock", false, "old design: one private runtime per lock instead of one shared")
+		n           = flag.Int("goroutines", 4*runtime.GOMAXPROCS(0), "worker goroutines")
+		nlocks      = flag.Int("locks", 1, "contended locks (workers round-robin across them)")
+		cs          = flag.Duration("cs", 500*time.Nanosecond, "critical section length")
+		think       = flag.Duration("think", 2*time.Microsecond, "think time between acquires")
+		duration    = flag.Duration("duration", 3*time.Second, "measurement duration")
+		useLC       = flag.Bool("lc", true, "enable load control")
+		perLock     = flag.Bool("perlock", false, "old design: one private runtime per lock instead of one shared")
+		adversarial = flag.Bool("adversarial", false, "run the hot-lock/cold-lock unlock-wake scenario instead")
+		noWake      = flag.Bool("nowake", false, "with -adversarial: disable the unlock-side wake (timeout-only baseline)")
 	)
 	flag.Parse()
+	if *adversarial {
+		runAdversarial(*n, *duration, *noWake)
+		return
+	}
+	if *noWake {
+		fmt.Fprintln(os.Stderr, "lcbench: -nowake requires -adversarial")
+		os.Exit(2)
+	}
 	if *nlocks < 1 {
 		fmt.Fprintln(os.Stderr, "lcbench: -locks must be >= 1")
 		os.Exit(2)
@@ -123,9 +144,124 @@ func main() {
 		rt.Stop()
 	}
 	if len(rts) > 0 {
-		fmt.Printf("controller(s)=%d: updates=%d claims=%d wakes=%d timeouts=%d locks=%d\n",
-			len(rts), agg.Updates, agg.Claims, agg.ControllerWakes, agg.TimeoutWakes, agg.LocksRegistered)
+		fmt.Printf("controller(s)=%d: updates=%d claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d locks=%d\n",
+			len(rts), agg.Updates, agg.Claims, agg.ControllerWakes, agg.UnlockWakes, agg.TimeoutWakes,
+			agg.Cancels, agg.LocksRegistered)
 	}
+}
+
+// runAdversarial is the stranded-lock scenario: hotWorkers goroutines
+// keep one lock hot (so the controller's sleep target stays high), a
+// cold lock's waiters park, and a holder releases the cold lock over
+// and over, timing how long the release takes to turn into the next
+// acquisition.
+func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
+	const coldWaiters = 2
+	rt := lcrt.New(lcrt.Options{SpinBeforePark: 512, DisableUnlockWake: noWake})
+	rt.Start()
+	hot := golc.NewNamedMutex(rt, "hot")
+	cold := golc.NewNamedMutex(rt, "cold")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < hotWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hot.Lock()
+				spinFor(5 * time.Microsecond)
+				hot.Unlock()
+			}
+		}()
+	}
+
+	// relNs carries the release timestamp — monotonic nanoseconds since
+	// t0, so wall-clock steps can't corrupt samples and 0 can mean "no
+	// pending measurement" — from the holder to whichever cold waiter
+	// acquires next; handoff carries the measured latency back (only
+	// the Swap winner sends, so buffer 1 suffices).
+	t0 := time.Now()
+	var relNs atomic.Int64
+	handoff := make(chan time.Duration, 1)
+	for i := 0; i < coldWaiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cold.Lock()
+				if rel := relNs.Swap(0); rel != 0 {
+					select {
+					case handoff <- time.Since(t0) - time.Duration(rel):
+					default:
+						// A stale sample from an aborted round still
+						// occupies the buffer; drop rather than block
+						// while holding the cold lock.
+					}
+				}
+				cold.Unlock()
+			}
+		}()
+	}
+
+	var samples []time.Duration
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		// Drop any sample a previously-aborted round delivered late, so
+		// it cannot be attributed to this round.
+		select {
+		case <-handoff:
+		default:
+		}
+		cold.Lock()
+		// Hold long enough for the cold waiters to blow through the
+		// park threshold and claim sleep slots.
+		time.Sleep(5 * time.Millisecond)
+		relNs.Store(int64(time.Since(t0)))
+		cold.Unlock()
+		select {
+		case d := <-handoff:
+			samples = append(samples, d)
+		case <-time.After(2 * time.Second):
+			fmt.Fprintln(os.Stderr, "lcbench: cold lock stranded beyond 2s; aborting round")
+		}
+		// Settle past the safety timeout so any waiter left parked by
+		// this round (only one gets the unlock wake) is awake again:
+		// every round then measures a fresh all-parked handoff rather
+		// than a stale sleeper's timeout.
+		time.Sleep(120 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	snap := rt.Snapshot()
+	cs := cold.Stats()
+	rt.Stop()
+
+	mode := "unlock-wake"
+	if noWake {
+		mode = "timeout-only"
+	}
+	fmt.Printf("adversarial mode=%s hot-goroutines=%d cold-waiters=%d gomaxprocs=%d rounds=%d\n",
+		mode, hotWorkers, coldWaiters, runtime.GOMAXPROCS(0), len(samples))
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := func(p float64) time.Duration { return samples[int(p*float64(len(samples)-1))] }
+		fmt.Printf("cold-lock handoff: p50=%v p99=%v max=%v\n", q(0.50), q(0.99), samples[len(samples)-1])
+	}
+	fmt.Printf("cold lock: blocks=%d wakes[controller=%d unlock=%d timeout=%d]\n",
+		cs.Blocks, cs.ControllerWakes, cs.UnlockWakes, cs.TimeoutWakes)
+	fmt.Printf("runtime: claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d slot-rejects=%d\n",
+		snap.Claims, snap.ControllerWakes, snap.UnlockWakes, snap.TimeoutWakes, snap.Cancels, snap.SlotRejects)
 }
 
 // spinFor busy-waits for roughly d (calibrated coarsely; this is a

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -176,8 +177,12 @@ func newHandler(store *kv.Store) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"runtime":%s}`+"\n",
-			store.Shards(), store.Len(), store.Mode().String(), snapshotJSON())
+		latches, err := json.Marshal(store.LatchStats())
+		if err != nil {
+			latches = []byte("null")
+		}
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"latches":%s,"runtime":%s}`+"\n",
+			store.Shards(), store.Len(), store.Mode().String(), latches, snapshotJSON())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
@@ -227,12 +232,16 @@ func runLoadgen(shards, stripes, conns int, duration time.Duration, keys int, ov
 		fmt.Printf("\nload control ON / OFF throughput ratio: %.2fx\n", on.rate/off.rate)
 	}
 	if s := on.snap; s != nil {
-		fmt.Printf("controller: updates=%d claims=%d wakes=%d timeouts=%d latches=%d\n",
-			s.Updates, s.Claims, s.ControllerWakes, s.TimeoutWakes, s.LocksRegistered)
+		// The wake split is the handoff-latency story: unlock wakes are
+		// immediate handoffs, timeout wakes mean a latch sat free until
+		// the 100ms safety backstop.
+		fmt.Printf("controller: updates=%d claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d latches=%d\n",
+			s.Updates, s.Claims, s.ControllerWakes, s.UnlockWakes, s.TimeoutWakes, s.Cancels, s.LocksRegistered)
 		top := append([]lcrt.LockStats(nil), s.Locks...)
 		sort.Slice(top, func(i, j int) bool { return top[i].Blocks > top[j].Blocks })
 		for i := 0; i < len(top) && i < 3; i++ {
-			fmt.Printf("  hottest latch %-16s spins=%d blocks=%d\n", top[i].Name, top[i].Spins, top[i].Blocks)
+			fmt.Printf("  hottest latch %-16s spins=%d blocks=%d unlock-wakes=%d timeout-wakes=%d\n",
+				top[i].Name, top[i].Spins, top[i].Blocks, top[i].UnlockWakes, top[i].TimeoutWakes)
 		}
 	}
 	if on.rate >= off.rate {

@@ -4,12 +4,15 @@
 //
 // The locks themselves are thin: a TATAS spinlock (Mutex) and a
 // writer-preferring reader/writer variant (RWMutex) whose spinners
-// interleave slot-buffer checks into their spin loops. All load-control
-// policy lives in the process-wide runtime (internal/golc/runtime): one
-// controller goroutine, one load sensor, and one sleep-slot pool shared
-// by every lock in the process, which is the paper's central
-// architectural claim. Locks register with a Runtime at construction
-// and receive a Handle carrying the protocol and per-lock metrics.
+// interleave slot-buffer checks into their spin loops (one shared
+// cadence, see spin.go), and whose release paths wake a parked waiter
+// when no spinner remains (runtime.Handle.NoteUnlock), so a free lock
+// never idles until the safety timeout. All load-control policy lives
+// in the process-wide runtime (internal/golc/runtime): one controller
+// goroutine, one load sensor, and one sleep-slot pool shared by every
+// lock in the process, which is the paper's central architectural
+// claim. Locks register with a Runtime at construction and receive a
+// Handle carrying the protocol and per-lock metrics.
 //
 // The adaptation and its honest limits: the paper's controller reads
 // the OS's runnable-thread count via microstate accounting, but the Go

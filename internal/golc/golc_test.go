@@ -306,6 +306,207 @@ func TestRWMutexMisuse(t *testing.T) {
 	})
 }
 
+// TestUnlockWakesParkedWaiter is the stall-regression test: a lock
+// whose only waiter has parked is released while a constant LoadFunc
+// keeps the global target high (standing in for other locks' spinners),
+// so neither the controller nor the 10s safety timeout can help — only
+// the unlock-side wake. The waiter must acquire within a few controller
+// intervals, not the timeout.
+func TestUnlockWakesParkedWaiter(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{
+		Interval:       time.Millisecond,
+		SleepTimeout:   10 * time.Second, // a timeout wake would blow the latency assert
+		SpinBeforePark: 64,
+		LoadFunc:       func() int { return 8 }, // hot "other locks" keep T high forever
+	})
+	mu := NewMutex(rt)
+	mu.Lock()
+	acquired := make(chan time.Duration, 1)
+	var released atomic.Int64
+	go func() {
+		mu.Lock()
+		acquired <- time.Duration(time.Now().UnixNano() - released.Load())
+		mu.Unlock()
+	}()
+	// Wait for the waiter to park (target is high, so it will).
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().Sleeping == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter never parked: %+v", rt.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	released.Store(time.Now().UnixNano())
+	mu.Unlock()
+	select {
+	case lat := <-acquired:
+		// "A few controller intervals" — generous bound for loaded CI
+		// machines, still far from the 10s timeout.
+		if lat > time.Second {
+			t.Fatalf("handoff took %v, want well under the safety timeout", lat)
+		}
+		t.Logf("unlock-to-acquire handoff: %v", lat)
+	case <-time.After(5 * time.Second):
+		t.Fatalf("waiter stranded after unlock: %+v", rt.Snapshot())
+	}
+	if snap := rt.Snapshot(); snap.UnlockWakes+snap.Cancels == 0 {
+		t.Fatalf("handoff used neither the unlock wake nor a cancel: %+v", snap)
+	}
+}
+
+// TestRUnlockWakesParkedWriter: the reader-side release of the last
+// read hold must wake a parked writer the same way.
+func TestRUnlockWakesParkedWriter(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{
+		Interval:       time.Millisecond,
+		SleepTimeout:   10 * time.Second,
+		SpinBeforePark: 64,
+		LoadFunc:       func() int { return 8 },
+	})
+	mu := NewRWMutex(rt)
+	mu.RLock()
+	acquired := make(chan struct{})
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		close(acquired)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().Sleeping == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("writer never parked: %+v", rt.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.RUnlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("writer stranded after RUnlock: %+v", rt.Snapshot())
+	}
+}
+
+// TestRWMutexNoStrandOnWriterParkCommit hammers the narrow race where
+// a writer committed to parking still holds wwait while the last read
+// hold is released: the reader gated by that doomed wwait parks too,
+// and without the wake hook at the writer's wwait drop both sleep on a
+// free lock until the safety timeout. With a 5s timeout and a high
+// constant target, any strand either trips the watchdog or shows up as
+// a TimeoutWakes count.
+func TestRWMutexNoStrandOnWriterParkCommit(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{
+		Interval:       time.Millisecond,
+		SleepTimeout:   5 * time.Second,
+		SpinBeforePark: 64,
+		LoadFunc:       func() int { return 16 },
+	})
+	mu := NewRWMutex(rt)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(2)
+		go func() { // reader
+			defer wg.Done()
+			for j := 0; j < 1500; j++ {
+				mu.RLock()
+				mu.RUnlock()
+			}
+		}()
+		go func() { // writer
+			defer wg.Done()
+			for j := 0; j < 1500; j++ {
+				mu.Lock()
+				mu.Unlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(4 * time.Second):
+		t.Fatalf("rwmutex stalled (waiters stranded on a free lock): %+v", rt.Snapshot())
+	}
+	if snap := rt.Snapshot(); snap.TimeoutWakes != 0 {
+		t.Fatalf("a waiter fell back to the safety timeout: %+v", snap)
+	}
+}
+
+// TestAdversarialTwoLocks is the paper-failure-mode scenario run with
+// real spinners (no LoadFunc): one hot lock's spinners keep the global
+// target high while a second lock's waiters all park; releasing the
+// second lock must hand it off via the unlock-side wake long before
+// the safety timeout. Kept short so CI runs it in -short mode too.
+func TestAdversarialTwoLocks(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{
+		Interval:       time.Millisecond,
+		SleepTimeout:   10 * time.Second,
+		SpinBeforePark: 64,
+	})
+	hot := NewNamedMutex(rt, "hot")
+	cold := NewNamedMutex(rt, "cold")
+
+	// Hot lock: spinners that never park (they hold the lock in turn,
+	// with a critical section long enough that waiters accumulate).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4*runtime.GOMAXPROCS(0); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hot.Lock()
+				busy := time.Now().Add(5 * time.Microsecond)
+				for time.Now().Before(busy) {
+				}
+				hot.Unlock()
+			}
+		}()
+	}
+
+	// Cold lock: held by us while its only waiter parks.
+	cold.Lock()
+	acquired := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cold.Lock()
+		cold.Unlock()
+		close(acquired)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for cold.Stats().Blocks == 0 {
+		if time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("cold waiter never parked: snap=%+v cold=%+v", rt.Snapshot(), cold.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cold.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		close(stop)
+		t.Fatalf("cold lock stranded: snap=%+v cold=%+v", rt.Snapshot(), cold.Stats())
+	}
+	handoff := time.Since(start)
+	close(stop)
+	wg.Wait()
+	t.Logf("cold-lock handoff under hot-lock pressure: %v (cold stats %+v)", handoff, cold.Stats())
+	if handoff > 2*time.Second {
+		t.Fatalf("handoff took %v, want well under the 10s timeout backstop", handoff)
+	}
+	cs := cold.Stats()
+	if cs.TimeoutWakes != 0 {
+		t.Fatalf("cold lock fell back to the safety timeout: %+v", cs)
+	}
+}
+
 func TestSpinRWMutex(t *testing.T) {
 	mu := NewSpinRWMutex()
 	counter := 0

@@ -1,7 +1,6 @@
 package golc
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	lcrt "repro/internal/golc/runtime"
@@ -10,7 +9,9 @@ import (
 // Mutex is a load-controlled spinlock for real Go programs: a TATAS
 // spinlock whose spinners watch the shared runtime's sleep slot buffer
 // and park when told the system is oversubscribed, exactly mirroring
-// the paper's augmented-spinlock client protocol (§3.1.2).
+// the paper's augmented-spinlock client protocol (§3.1.2). The unlock
+// path wakes a parked waiter when none is left spinning, so a free
+// lock never idles until the safety timeout.
 //
 // A Mutex must be created with NewMutex. Every Mutex registers with a
 // load-control Runtime — normally the process-wide one — because load
@@ -49,38 +50,42 @@ func (m *Mutex) Lock() {
 	}
 	h := m.h
 	h.Spinning(1)
-	park := h.ParkThreshold()
-	spins := 0
+	c := cadence{park: h.ParkThreshold()}
 	for {
 		// Test-and-test-and-set: wait for the line to go free first.
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
 			h.Spinning(-1)
-			h.NoteSpins(spins)
+			h.NoteSpins(c.spins)
 			return
 		}
-		spins++
-		// After the spin-then-park threshold, check the sleep slot
+		// Past the spin-then-park threshold, check the sleep slot
 		// buffer while polling (the paper's interleaved spin loop,
-		// §3.2.3); the no-openings case is two atomic loads.
-		if spins%64 == 0 && spins >= park && h.Park() {
-			// Restart the acquire as if we just arrived.
-			h.NoteSpins(spins)
-			spins = 0
-			continue
-		}
-		if spins%256 == 0 {
-			// Cooperate with the Go scheduler: a hard spin can starve
-			// the lock holder's goroutine off its P.
-			runtime.Gosched()
+		// §3.2.3); the no-openings case is three atomic loads. A
+		// successful claim re-checks the lock before parking: if the
+		// holder released (and saw our claim) in between, parking
+		// would strand the wake, so take the free lock instead.
+		if c.next() {
+			if t, ok := h.TryClaim(); ok {
+				if m.state.Load() == 0 {
+					t.Cancel()
+				} else {
+					t.Sleep()
+				}
+				// Restart the acquire as if we just arrived.
+				h.NoteSpins(c.spins)
+				c.spins = 0
+			}
 		}
 	}
 }
 
-// Unlock releases the mutex.
+// Unlock releases the mutex, waking a parked waiter if no spinner is
+// left to take the lock (see runtime.Handle.NoteUnlock).
 func (m *Mutex) Unlock() {
 	if m.state.Swap(0) != 1 {
 		panic("golc: unlock of unlocked mutex")
 	}
+	m.h.NoteUnlock()
 }
 
 // SpinMutex is the uncontrolled baseline: the same TATAS spinlock with
@@ -94,15 +99,12 @@ func NewSpinMutex() *SpinMutex { return &SpinMutex{} }
 
 // Lock acquires the spinlock.
 func (m *SpinMutex) Lock() {
-	spins := 0
+	c := cadence{park: noPark}
 	for {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
 			return
 		}
-		spins++
-		if spins%256 == 0 {
-			runtime.Gosched()
-		}
+		c.next()
 	}
 }
 

@@ -6,25 +6,28 @@
 // management is decoupled from scheduling by a single per-process load
 // controller, so adding a lock never adds a controller. Locks register
 // with a Runtime and receive a Handle; the Handle carries the lock's
-// side of the protocol (spinner census, slot claims, parking) and its
-// per-lock metrics. The controller periodically reads the load sensor —
-// by default a census of spinning waiters across all registered locks,
-// optionally a custom LoadFunc where a real runnable-thread signal
-// exists — and publishes a sleep target T. Spinning waiters claim sleep
-// slots against T exactly as in the paper (S/W counters, immediate
-// controller wakes on underload, a safety timeout).
+// side of the protocol (spinner census, slot claims, parking, the
+// unlock-side wake) and its per-lock metrics. The controller
+// periodically reads the load sensor — by default a census of spinning
+// waiters across all registered locks, optionally a custom LoadFunc
+// where a real runnable-thread signal exists — and publishes a sleep
+// target T. Spinning waiters claim sleep slots against T exactly as in
+// the paper (S/W counters, immediate controller wakes on underload, a
+// safety timeout).
 //
 // Most programs use the shared Default() runtime; tests and benchmarks
 // construct private ones with New.
 //
 // Two properties of the shared pool to know about:
 //
-//   - A lock whose waiters have all parked can sit free until the
-//     safety timeout (default 100ms) if other locks' spinners keep the
-//     global target high — the unlock path does not wake sleepers.
-//     This is the paper's design too: the safety timeout exists
-//     precisely to bound that stall. The SpinBeforePark threshold
-//     makes it rare (only genuinely convoyed waiters ever park).
+//   - A lock whose waiters have all parked is not stranded until the
+//     safety timeout. Each Handle tracks its own parked waiters, and
+//     the lock's unlock path calls NoteUnlock, which — at the cost of
+//     one atomic load when the lock has no sleepers — wakes exactly one
+//     parked waiter when the lock is released with parked waiters and
+//     no spinners left, enforcing a per-lock floor of one awake waiter.
+//     The 100ms safety timeout remains only as the last-resort backstop
+//     (controller death, custom lock code that never calls NoteUnlock).
 //   - Registered locks stay in the metrics registry until their
 //     Handle's Close is called. Locks are meant to be long-lived
 //     (shards, latches, global structures); code that creates
@@ -48,8 +51,8 @@ type LoadFunc func() int
 type Options struct {
 	// Interval between controller updates (default 2ms).
 	Interval time.Duration
-	// SleepTimeout bounds a sleeper's wait without a controller wake
-	// (default 100ms, as in the paper).
+	// SleepTimeout bounds a sleeper's wait without a controller or
+	// unlock wake (default 100ms, as in the paper).
 	SleepTimeout time.Duration
 	// BufferCap is the physical sleep-slot array size (default 1024).
 	BufferCap int
@@ -67,6 +70,10 @@ type Options struct {
 	// LoadFunc, when non-nil, replaces the default spinner-census
 	// sensor.
 	LoadFunc LoadFunc
+	// DisableUnlockWake turns off the unlock-side wake, leaving only
+	// controller wakes and the safety timeout — the paper's original
+	// design, kept as an ablation baseline for benchmarks.
+	DisableUnlockWake bool
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +102,7 @@ type LockStats struct {
 	Blocks          uint64 // slot claims, each of which parks a waiter
 	ControllerWakes uint64 // parks ended by a controller wake
 	TimeoutWakes    uint64 // parks ended by the safety timeout
+	UnlockWakes     uint64 // parks ended by the lock's own unlock
 }
 
 // Snapshot is a point-in-time view of the runtime, suitable for expvar.
@@ -103,6 +111,9 @@ type Snapshot struct {
 	Claims          uint64
 	ControllerWakes uint64
 	TimeoutWakes    uint64
+	UnlockWakes     uint64
+	Cancels         uint64 // claims retired unused (lock freed before the park)
+	SlotRejects     uint64 // claims refused because no slot was free
 	Spinners        int
 	Sleeping        int
 	Target          int
@@ -110,11 +121,15 @@ type Snapshot struct {
 	Locks           []LockStats
 }
 
-// sleeper is one parked waiter: a channel closed by the controller wake.
+// sleeper is one parked waiter: a channel closed by whichever wake path
+// (controller, unlock, timeout drain) gets there first. idx is its slot
+// in the pool; hpos is its position in its handle's parked list. Both
+// are maintained under Runtime.mu.
 type sleeper struct {
-	ch  chan struct{}
-	idx int
-	h   *Handle
+	ch   chan struct{}
+	idx  int
+	h    *Handle
+	hpos int
 }
 
 // Runtime owns the controller goroutine, the load sensor, and the
@@ -130,13 +145,14 @@ type Runtime struct {
 	target atomic.Int64
 
 	// s and w are the paper's S and W counters; s-w is the sleeper
-	// population. Reads are lock-free (the spinner fast path); slot
-	// mutations take mu.
+	// population (see sleeping for the required read order). Reads are
+	// lock-free (the spinner fast path); all mutations take mu.
 	s, w atomic.Uint64
 
 	mu    sync.Mutex
 	slots []*sleeper
-	scan  int
+	scan  int // wake cursor: where wakeOne resumes its scan
+	place int // claim cursor: where trySleep resumes its free-slot scan
 
 	regMu sync.Mutex
 	locks map[*Handle]struct{}
@@ -145,6 +161,9 @@ type Runtime struct {
 	claims          atomic.Uint64
 	controllerWakes atomic.Uint64
 	timeoutWakes    atomic.Uint64
+	unlockWakes     atomic.Uint64
+	cancels         atomic.Uint64
+	slotRejects     atomic.Uint64
 
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -227,6 +246,17 @@ func (r *Runtime) unregister(h *Handle) {
 	r.regMu.Unlock()
 }
 
+// sleeping returns the current sleeper population S-W. W must be
+// loaded before S: claims increment S and retirements increment W, and
+// W never passes S, so loading W first can only transiently overcount.
+// Loading S first races a concurrent retirement into a wrapped uint64
+// difference — a bogus huge Sleeping.
+func (r *Runtime) sleeping() int {
+	w := r.w.Load()
+	s := r.s.Load()
+	return int(s - w)
+}
+
 // Snapshot returns a consistent-enough view of global and per-lock
 // counters, per-lock entries sorted by name for stable output.
 func (r *Runtime) Snapshot() Snapshot {
@@ -235,8 +265,11 @@ func (r *Runtime) Snapshot() Snapshot {
 		Claims:          r.claims.Load(),
 		ControllerWakes: r.controllerWakes.Load(),
 		TimeoutWakes:    r.timeoutWakes.Load(),
+		UnlockWakes:     r.unlockWakes.Load(),
+		Cancels:         r.cancels.Load(),
+		SlotRejects:     r.slotRejects.Load(),
 		Spinners:        int(r.spinners.Load()),
-		Sleeping:        int(r.s.Load() - r.w.Load()),
+		Sleeping:        r.sleeping(),
 		Target:          int(r.target.Load()),
 	}
 	r.regMu.Lock()
@@ -272,7 +305,7 @@ func (r *Runtime) update() {
 	} else {
 		// Spinner census: everyone beyond KeepSpinners should sleep,
 		// and current sleepers count against the same budget.
-		t = int(r.spinners.Load()) - r.opts.KeepSpinners + int(r.s.Load()-r.w.Load())
+		t = int(r.spinners.Load()) - r.opts.KeepSpinners + r.sleeping()
 	}
 	r.setTarget(t)
 }
@@ -301,12 +334,31 @@ func (r *Runtime) setTarget(t int) {
 	// would count it as still asleep and a small target decrease
 	// would stampede every sleeper awake. A claim racing a decrease
 	// is healed by the next controller tick.
-	excess := int(r.s.Load()-r.w.Load()) - t
+	excess := r.sleeping() - t
 	for i := 0; i < excess; i++ {
 		if !r.wakeOne() {
 			break
 		}
 	}
+}
+
+// detach removes s from the slot pool and from its handle's parked
+// list, reporting whether s was still attached (false means another
+// wake path already consumed it). Caller holds mu.
+func (r *Runtime) detach(s *sleeper) bool {
+	if r.slots[s.idx] != s {
+		return false
+	}
+	r.slots[s.idx] = nil
+	h := s.h
+	last := len(h.parked) - 1
+	moved := h.parked[last]
+	h.parked[s.hpos] = moved
+	moved.hpos = s.hpos
+	h.parked[last] = nil
+	h.parked = h.parked[:last]
+	h.sleepers.Add(-1)
+	return true
 }
 
 // wakeOne scans for an occupied slot, clears it and signals the sleeper.
@@ -316,13 +368,11 @@ func (r *Runtime) wakeOne() bool {
 	for i := 0; i < n; i++ {
 		idx := (r.scan + i) % n
 		if s := r.slots[idx]; s != nil {
-			r.slots[idx] = nil
+			r.detach(s)
 			r.scan = (idx + 1) % n
 			r.mu.Unlock()
 			r.controllerWakes.Add(1)
-			if s.h != nil {
-				s.h.controllerWakes.Add(1)
-			}
+			s.h.controllerWakes.Add(1)
 			close(s.ch)
 			return true
 		}
@@ -331,33 +381,81 @@ func (r *Runtime) wakeOne() bool {
 	return false
 }
 
+// wakeHandle is the unlock-side wake: it signals one of h's parked
+// waiters (never the one holding the except claim, when given —
+// a waiter that is itself committed to parking must not wake its own
+// slot, or the wake is wasted on an immediate no-op sleep). Unlike
+// controller wakes it does not consult the target — the lock is free
+// and someone must go get it. The woken sleeper retires normally
+// (W++), so the pool opens a slot that another lock's spinner may
+// claim: the awake-waiter floor transfers the sleep quota rather than
+// shrinking the sleeping population the controller asked for.
+func (r *Runtime) wakeHandle(h *Handle, except *sleeper) bool {
+	r.mu.Lock()
+	var s *sleeper
+	for _, cand := range h.parked {
+		if cand != except {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		r.mu.Unlock()
+		return false
+	}
+	r.detach(s)
+	r.mu.Unlock()
+	r.unlockWakes.Add(1)
+	h.unlockWakes.Add(1)
+	close(s.ch)
+	return true
+}
+
 // trySleep attempts the spinner-side slot claim for h. It returns nil
-// when the buffer has no openings (the common fast path: two atomic
-// loads).
+// when the target leaves no openings (the common fast path: three
+// atomic loads). The physical slot is found by scanning from the claim
+// cursor, so holes left by out-of-order wakes are always usable. With
+// the target capped at the pool size, occupied slots never exceed the
+// sleeping population and an admitted claim always places; the
+// SlotRejects branch is a tripwire for protocol bugs (and for tests
+// that force the target past the cap), not a state normal operation
+// reaches.
 func (r *Runtime) trySleep(h *Handle) *sleeper {
-	if int64(r.s.Load()-r.w.Load()) >= r.target.Load() {
+	if int64(r.sleeping()) >= r.target.Load() {
 		return nil
 	}
 	r.mu.Lock()
-	if int64(r.s.Load()-r.w.Load()) >= r.target.Load() {
+	if int64(r.sleeping()) >= r.target.Load() {
 		r.mu.Unlock()
 		return nil
 	}
-	idx := int(r.s.Load()) % len(r.slots)
-	if r.slots[idx] != nil {
-		r.mu.Unlock()
-		return nil // physical wrap onto an occupied slot
+	n := len(r.slots)
+	idx := -1
+	for i := 0; i < n; i++ {
+		if j := (r.place + i) % n; r.slots[j] == nil {
+			idx = j
+			break
+		}
 	}
+	if idx < 0 {
+		r.slotRejects.Add(1)
+		r.mu.Unlock()
+		return nil
+	}
+	r.place = (idx + 1) % n
 	s := &sleeper{ch: make(chan struct{}), idx: idx, h: h}
 	r.slots[idx] = s
+	s.hpos = len(h.parked)
+	h.parked = append(h.parked, s)
+	h.sleepers.Add(1)
 	r.s.Add(1)
 	r.claims.Add(1)
 	r.mu.Unlock()
 	return s
 }
 
-// sleep parks until the controller wake or the timeout, then retires
-// from the buffer (W++), clearing its own slot on the timeout path.
+// sleep parks until a wake or the timeout, then retires from the
+// buffer (W++), clearing its own slot on the timeout path.
 func (r *Runtime) sleep(s *sleeper) {
 	timer := time.NewTimer(r.opts.SleepTimeout)
 	select {
@@ -366,12 +464,22 @@ func (r *Runtime) sleep(s *sleeper) {
 	}
 	timer.Stop()
 	r.mu.Lock()
-	if r.slots[s.idx] == s {
-		r.slots[s.idx] = nil
+	if r.detach(s) {
 		r.timeoutWakes.Add(1)
-		if s.h != nil {
-			s.h.timeoutWakes.Add(1)
-		}
+		s.h.timeoutWakes.Add(1)
+	}
+	r.w.Add(1)
+	r.mu.Unlock()
+}
+
+// cancel retires a claim without sleeping on it: the lock turned out
+// to be free after the claim, so the waiter returns to acquiring. If a
+// wake consumed the slot first that wake is already accounted; either
+// way the claim retires (W++), keeping S/W balanced.
+func (r *Runtime) cancel(s *sleeper) {
+	r.mu.Lock()
+	if r.detach(s) {
+		r.cancels.Add(1)
 	}
 	r.w.Add(1)
 	r.mu.Unlock()
@@ -383,10 +491,24 @@ type Handle struct {
 	rt   *Runtime
 	name string
 
+	// spinning is this lock's slice of the census; sleepers counts its
+	// parked waiters. NoteUnlock reads them (sleepers first) to decide
+	// whether a wake is needed; TryClaim moves a waiter from one to the
+	// other (sleepers up inside the claim, spinning down after), so by
+	// the time a claimant re-checks the lock state, an unlocker that
+	// observes the old state is guaranteed to observe the claim.
+	spinning atomic.Int64
+	sleepers atomic.Int64
+
+	// parked lists this lock's sleepers (guarded by rt.mu), giving the
+	// unlock-side wake O(1) access instead of a pool scan.
+	parked []*sleeper
+
 	spins           atomic.Uint64
 	blocks          atomic.Uint64
 	controllerWakes atomic.Uint64
 	timeoutWakes    atomic.Uint64
+	unlockWakes     atomic.Uint64
 }
 
 // Name returns the name given at registration.
@@ -407,45 +529,114 @@ func (h *Handle) Close() { h.rt.unregister(h) }
 // Spinning adjusts the shared spinner census by delta. Locks call
 // Spinning(1) when a waiter starts spinning and Spinning(-1) when it
 // acquires or gives up.
-func (h *Handle) Spinning(delta int) { h.rt.spinners.Add(int64(delta)) }
+func (h *Handle) Spinning(delta int) {
+	h.rt.spinners.Add(int64(delta))
+	h.spinning.Add(int64(delta))
+}
 
 // NoteSpins adds n spin-loop iterations to the lock's counters. Locks
 // batch this (accumulate locally, report on exit) to keep the spin loop
 // free of shared-counter traffic.
 func (h *Handle) NoteSpins(n int) { h.spins.Add(uint64(n)) }
 
+// NoteUnlock is the unlock-side wake hook: locks call it after
+// releasing. When the lock has parked waiters and no spinners left, it
+// wakes exactly one sleeper so a free lock never idles until the
+// safety timeout just because other locks keep the global target high
+// — the per-lock awake-waiter floor. The common path (no sleepers) is
+// one atomic load.
+//
+// The protocol cannot strand a waiter: a parker claims (making its
+// sleeper visible and leaving the spinning census) and then re-checks
+// the lock state, sleeping only if the lock is still held (else
+// Ticket.Cancel). An unlocker releases and then reads sleepers and
+// spinning. If the parker saw the lock held, its claim is ordered
+// before the release, so the unlocker sees the sleeper and wakes it;
+// if the unlocker instead saw a lingering spinner, that spinner's
+// re-check is ordered after the release, so it sees the free lock and
+// cancels its park.
+func (h *Handle) NoteUnlock() {
+	if h.rt.opts.DisableUnlockWake {
+		return // before any atomic: the ablation must cost nothing
+	}
+	if h.sleepers.Load() == 0 {
+		return
+	}
+	if h.spinning.Load() > 0 {
+		return // an awake waiter exists; it will take the free lock
+	}
+	h.rt.wakeHandle(h, nil)
+}
+
+// WakeOne unconditionally wakes one of the lock's parked waiters,
+// reporting whether there was one. NoteUnlock is the usual entry
+// point; WakeOne serves tests and custom lock code.
+func (h *Handle) WakeOne() bool { return h.rt.wakeHandle(h, nil) }
+
 // A Ticket is a claimed sleep slot that has not been slept on yet. The
-// two-phase claim/sleep split lets a lock release auxiliary state only
-// once the park is certain — e.g. a writer dropping its
-// writer-preference claim: dropping it on every failed claim attempt
-// would leak readers past a waiting writer.
+// claim/sleep split has two jobs: a lock re-checks its state after the
+// claim and cancels the park if the lock was released in between (see
+// NoteUnlock), and a lock can release auxiliary state only once the
+// park is certain — e.g. a writer dropping its writer-preference
+// claim: dropping it on every failed claim attempt would leak readers
+// past a waiting writer.
 type Ticket struct {
 	h *Handle
 	s *sleeper
 }
 
 // TryClaim attempts the spinner-side slot claim without sleeping. The
-// no-openings case is two atomic loads.
+// no-openings case is three atomic loads. A successful claim leaves
+// the spinner census (the waiter is committed to parking unless it
+// Cancels); Sleep and Cancel both rejoin it.
 func (h *Handle) TryClaim() (Ticket, bool) {
 	s := h.rt.trySleep(h)
 	if s == nil {
 		return Ticket{}, false
 	}
+	h.Spinning(-1)
 	h.blocks.Add(1)
 	return Ticket{h: h, s: s}, true
 }
 
-// Sleep parks on the claimed slot until a controller wake or the
-// safety timeout. The caller must currently be counted in the census;
-// Sleep removes it while asleep and restores it before returning.
+// Sleep parks on the claimed slot until a controller wake, an unlock
+// wake, or the safety timeout, then rejoins the spinner census.
 func (t Ticket) Sleep() {
-	t.h.rt.spinners.Add(-1)
 	t.h.rt.sleep(t.s)
-	t.h.rt.spinners.Add(1)
+	t.h.Spinning(1)
+}
+
+// Cancel retires the claim without parking — the caller re-checked its
+// lock and found it free — and rejoins the spinner census.
+func (t Ticket) Cancel() {
+	t.h.rt.cancel(t.s)
+	t.h.Spinning(1)
+}
+
+// NoteRelease is NoteUnlock for a waiter that is itself committed to
+// parking: a claimant that releases a gate on its way to sleep (the
+// RWMutex writer dropping its writer-preference claim) must wake a
+// waiter that parked behind that gate — but never its own freshly
+// claimed slot, which a plain NoteUnlock would pick. The common path
+// (no other sleeper) is one atomic load.
+func (t Ticket) NoteRelease() {
+	h := t.h
+	if h.rt.opts.DisableUnlockWake {
+		return
+	}
+	if h.sleepers.Load() <= 1 {
+		return // only our own claim is parked
+	}
+	if h.spinning.Load() > 0 {
+		return
+	}
+	h.rt.wakeHandle(h, t.s)
 }
 
 // Park is TryClaim+Sleep in one step: when a slot is open it parks the
-// caller and returns true.
+// caller and returns true. Locks that can re-check their state should
+// prefer the explicit TryClaim / Cancel / Sleep dance; Park serves
+// tests and callers with nothing to re-check.
 func (h *Handle) Park() bool {
 	t, ok := h.TryClaim()
 	if !ok {
@@ -463,5 +654,6 @@ func (h *Handle) Stats() LockStats {
 		Blocks:          h.blocks.Load(),
 		ControllerWakes: h.controllerWakes.Load(),
 		TimeoutWakes:    h.timeoutWakes.Load(),
+		UnlockWakes:     h.unlockWakes.Load(),
 	}
 }

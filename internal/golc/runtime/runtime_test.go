@@ -171,8 +171,282 @@ func TestSlotPoolHandoffConcurrent(t *testing.T) {
 	if parked.Load() == 0 || snap.Claims == 0 {
 		t.Fatal("no handoffs exercised")
 	}
-	if snap.ControllerWakes+snap.TimeoutWakes != snap.Claims {
+	if snap.ControllerWakes+snap.TimeoutWakes+snap.UnlockWakes+snap.Cancels != snap.Claims {
 		t.Fatalf("wake accounting mismatch: %+v", snap)
+	}
+}
+
+// TestSnapshotSleepingBoundedUnderChurn is the regression test for the
+// S/W read-order race: Sleeping is S-W on uint64 counters, and loading
+// S before W let a concurrent retirement wrap the difference into a
+// huge value. Snapshot continuously while claims and wakes churn and
+// assert Sleeping stays within its physical bounds.
+func TestSnapshotSleepingBoundedUnderChurn(t *testing.T) {
+	const bufCap = 64
+	rt := New(Options{SleepTimeout: time.Millisecond, BufferCap: bufCap})
+	h := rt.Register("churn")
+	rt.setTarget(bufCap)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Spinning(1)
+				if tk, ok := h.TryClaim(); ok {
+					// Alternate the two retirement paths.
+					if tk.s.idx%2 == 0 {
+						tk.Cancel()
+					} else {
+						tk.Sleep()
+					}
+				}
+				h.Spinning(-1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // unlock-side wakes add a third retirement path
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.WakeOne()
+			}
+		}
+	}()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		snap := rt.Snapshot()
+		if snap.Sleeping < 0 || snap.Sleeping > bufCap {
+			t.Errorf("Sleeping out of bounds: %d (cap %d)", snap.Sleeping, bufCap)
+			break
+		}
+	}
+	close(stop)
+	rt.setTarget(0)
+	wg.Wait()
+	rt.setTarget(0) // drain any claim that raced the first drain
+	if snap := rt.Snapshot(); snap.Sleeping != 0 {
+		t.Fatalf("sleepers leaked: %+v", snap)
+	}
+}
+
+// TestTrySleepScansPastOccupiedSlots is the regression test for the
+// old wrap-placement bug: a claim whose S-mod-cap slot was occupied
+// was refused even though wakes had left holes elsewhere in the pool.
+func TestTrySleepScansPastOccupiedSlots(t *testing.T) {
+	rt := New(Options{BufferCap: 2})
+	hA := rt.Register("a")
+	hB := rt.Register("b")
+	rt.setTarget(2)
+	sa := rt.trySleep(hA) // slot 0
+	sb := rt.trySleep(hB) // slot 1
+	if sa == nil || sb == nil {
+		t.Fatal("initial claims failed")
+	}
+	// Wake B (slot 1) and retire it; slot 0 stays occupied by A. The
+	// old placement computed idx = S % cap = 2 % 2 = 0 — occupied —
+	// and refused, despite slot 1 being free.
+	if !hB.WakeOne() {
+		t.Fatal("WakeOne found no sleeper for B")
+	}
+	rt.sleep(sb) // retires immediately: channel already closed
+	sc := rt.trySleep(hB)
+	if sc == nil {
+		t.Fatalf("claim refused with a free slot in the pool: %+v", rt.Snapshot())
+	}
+	if sc.idx != 1 {
+		t.Fatalf("claim placed at slot %d, want the freed slot 1", sc.idx)
+	}
+	if rejects := rt.Snapshot().SlotRejects; rejects != 0 {
+		t.Fatalf("SlotRejects = %d, want 0", rejects)
+	}
+}
+
+// TestSlotRejectMetric forces a genuinely full pool and checks the
+// rejected claim is counted.
+func TestSlotRejectMetric(t *testing.T) {
+	rt := New(Options{BufferCap: 2})
+	h := rt.Register("full")
+	rt.setTarget(2)
+	if rt.trySleep(h) == nil || rt.trySleep(h) == nil {
+		t.Fatal("claims under target failed")
+	}
+	// Both physical slots are occupied; raise the logical target past
+	// the physical population by hand so only placement can refuse.
+	rt.target.Store(3)
+	if s := rt.trySleep(h); s != nil {
+		t.Fatal("claim succeeded with a full pool")
+	}
+	if rejects := rt.Snapshot().SlotRejects; rejects != 1 {
+		t.Fatalf("SlotRejects = %d, want 1", rejects)
+	}
+}
+
+// TestUnlockWakePath exercises Handle.NoteUnlock end to end at the
+// runtime layer: a parked waiter with no spinners left is woken by the
+// unlock-side wake, not the controller and not the timeout.
+func TestUnlockWakePath(t *testing.T) {
+	rt := New(Options{SleepTimeout: 10 * time.Second})
+	rt.setTarget(1)
+	h := rt.Register("unlock-wake")
+	h.Spinning(1)
+	tk, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed with open target")
+	}
+	done := make(chan struct{})
+	go func() {
+		tk.Sleep()
+		close(done)
+	}()
+	waitFor(t, "sleeper parked", func() bool { return rt.Snapshot().Sleeping == 1 })
+	h.NoteUnlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("unlock-side wake did not release the sleeper")
+	}
+	h.Spinning(-1)
+	snap := rt.Snapshot()
+	if snap.UnlockWakes != 1 || snap.ControllerWakes != 0 || snap.TimeoutWakes != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if ls := h.Stats(); ls.UnlockWakes != 1 {
+		t.Fatalf("per-lock stats = %+v", ls)
+	}
+}
+
+// TestNoteUnlockSuppressedBySpinner: with an awake waiter present the
+// unlock-side wake must not fire (the spinner takes the free lock).
+func TestNoteUnlockSuppressedBySpinner(t *testing.T) {
+	rt := New(Options{SleepTimeout: 50 * time.Millisecond})
+	rt.setTarget(1)
+	h := rt.Register("suppressed")
+	h.Spinning(1) // the sleeper-to-be
+	tk, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		tk.Sleep()
+		close(done)
+	}()
+	waitFor(t, "sleeper parked", func() bool { return rt.Snapshot().Sleeping == 1 })
+	h.Spinning(1) // a second waiter, still spinning
+	h.NoteUnlock()
+	if n := rt.Snapshot().UnlockWakes; n != 0 {
+		t.Fatalf("UnlockWakes = %d with a spinner present, want 0", n)
+	}
+	<-done // safety timeout releases the sleeper
+	h.Spinning(-2)
+}
+
+// TestNoteUnlockDisabled: the ablation switch turns the unlock-side
+// wake off, restoring the timeout-bounded stall of the original design.
+func TestNoteUnlockDisabled(t *testing.T) {
+	rt := New(Options{SleepTimeout: 30 * time.Millisecond, DisableUnlockWake: true})
+	rt.setTarget(1)
+	h := rt.Register("disabled")
+	h.Spinning(1)
+	tk, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		tk.Sleep()
+		close(done)
+	}()
+	waitFor(t, "sleeper parked", func() bool { return rt.Snapshot().Sleeping == 1 })
+	h.NoteUnlock()
+	<-done
+	h.Spinning(-1)
+	snap := rt.Snapshot()
+	if snap.UnlockWakes != 0 || snap.TimeoutWakes != 1 {
+		t.Fatalf("snapshot = %+v, want the timeout path only", snap)
+	}
+}
+
+// TestNoteReleaseWakesOtherSleeper: a claimant that releases a gate on
+// its way to sleep must wake some OTHER parked waiter, never its own
+// freshly claimed slot (which a plain NoteUnlock would pick), and must
+// not wake at all when its own claim is the only one parked.
+func TestNoteReleaseWakesOtherSleeper(t *testing.T) {
+	rt := New(Options{SleepTimeout: 10 * time.Second})
+	rt.setTarget(2)
+	h := rt.Register("release")
+
+	// Only our own claim parked: no wake.
+	h.Spinning(1)
+	self, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	self.NoteRelease()
+	if n := rt.Snapshot().UnlockWakes; n != 0 {
+		t.Fatalf("NoteRelease woke its own claim: UnlockWakes=%d", n)
+	}
+
+	// An older sleeper exists: NoteRelease from the newer claim must
+	// wake the older one and leave its own slot parked.
+	other := rt.trySleep(h) // stands in for the stranded reader
+	if other == nil {
+		t.Fatal("second claim failed")
+	}
+	otherDone := make(chan struct{})
+	go func() {
+		rt.sleep(other)
+		close(otherDone)
+	}()
+	waitFor(t, "both parked", func() bool { return rt.Snapshot().Sleeping == 2 })
+	self.NoteRelease()
+	select {
+	case <-otherDone:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("NoteRelease did not wake the other sleeper: %+v", rt.Snapshot())
+	}
+	snap := rt.Snapshot()
+	if snap.UnlockWakes != 1 || snap.Sleeping != 1 {
+		t.Fatalf("snapshot = %+v, want the other sleeper woken and ours still parked", snap)
+	}
+	self.Cancel()
+	h.Spinning(-1)
+}
+
+// TestTicketCancel: a cancelled claim retires cleanly (S/W balanced,
+// slot free) and is counted as a cancel, not a wake.
+func TestTicketCancel(t *testing.T) {
+	rt := New(Options{})
+	rt.setTarget(1)
+	h := rt.Register("cancel")
+	h.Spinning(1)
+	tk, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	tk.Cancel()
+	h.Spinning(-1)
+	snap := rt.Snapshot()
+	if snap.Sleeping != 0 || snap.Cancels != 1 || snap.Claims != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.ControllerWakes+snap.TimeoutWakes+snap.UnlockWakes != 0 {
+		t.Fatalf("cancel was counted as a wake: %+v", snap)
+	}
+	// The slot must be reusable immediately.
+	if s := rt.trySleep(h); s == nil {
+		t.Fatal("claim after cancel failed")
 	}
 }
 
@@ -252,8 +526,10 @@ func TestCustomLoadFunc(t *testing.T) {
 
 func TestPublishExpvar(t *testing.T) {
 	rt := New(Options{})
-	h := rt.Register("published-lock")
-	defer h.Close()
+	// Deliberately never Closed: expvar publication is once per
+	// process, so under -count>1 later runs read the first run's
+	// runtime — its registry must still hold the lock.
+	rt.Register("published-lock")
 	rt.Publish("golc-test")
 	rt.Publish("golc-test") // duplicate must not panic
 	v := expvar.Get("golc-test")

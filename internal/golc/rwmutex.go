@@ -1,7 +1,6 @@
 package golc
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	lcrt "repro/internal/golc/runtime"
@@ -11,7 +10,9 @@ import (
 // the lock; a pending writer gates new readers (writer preference) so
 // writers cannot starve under a steady read stream. Both reader and
 // writer spin loops follow the same slot-buffer protocol as Mutex, so
-// every waiter — read or write — is governed by the shared runtime.
+// every waiter — read or write — is governed by the shared runtime,
+// and both release paths (Unlock, and the RUnlock that drops the last
+// read hold) wake a parked waiter when no spinner remains.
 //
 // state encodes the lock: -1 while a writer holds it, otherwise the
 // reader count. wwait counts writers waiting (it gates new readers).
@@ -40,6 +41,11 @@ func (m *RWMutex) Close() { m.h.Close() }
 // Stats returns the lock's per-lock counters.
 func (m *RWMutex) Stats() lcrt.LockStats { return m.h.Stats() }
 
+// rAvailable reports whether a reader could take the lock right now.
+func (m *RWMutex) rAvailable() bool {
+	return m.wwait.Load() == 0 && m.state.Load() >= 0
+}
+
 // RLock acquires the lock for reading.
 func (m *RWMutex) RLock() {
 	// Uncontended fast path.
@@ -50,31 +56,36 @@ func (m *RWMutex) RLock() {
 	}
 	h := m.h
 	h.Spinning(1)
-	park := h.ParkThreshold()
-	spins := 0
+	c := cadence{park: h.ParkThreshold()}
 	for {
 		if m.wwait.Load() == 0 {
 			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
 				h.Spinning(-1)
-				h.NoteSpins(spins)
+				h.NoteSpins(c.spins)
 				return
 			}
 		}
-		spins++
-		if spins%64 == 0 && spins >= park && h.Park() {
-			h.NoteSpins(spins)
-			spins = 0
-			continue
-		}
-		if spins%256 == 0 {
-			runtime.Gosched()
+		if c.next() {
+			if t, ok := h.TryClaim(); ok {
+				// Re-check after the claim: if the writer gating us
+				// released in between, parking would strand its wake.
+				if m.rAvailable() {
+					t.Cancel()
+				} else {
+					t.Sleep()
+				}
+				h.NoteSpins(c.spins)
+				c.spins = 0
+			}
 		}
 	}
 }
 
 // RUnlock releases one read hold. Validation happens before the
 // decrement: a bad RUnlock must not corrupt state into the writer-held
-// encoding (a recovered panic would leave the lock wedged).
+// encoding (a recovered panic would leave the lock wedged). Dropping
+// the last read hold wakes a parked waiter (usually a writer whose
+// wwait claim was released while asleep) if no spinner remains.
 func (m *RWMutex) RUnlock() {
 	for {
 		s := m.state.Load()
@@ -82,6 +93,9 @@ func (m *RWMutex) RUnlock() {
 			panic("golc: RUnlock of RWMutex not held for reading")
 		}
 		if m.state.CompareAndSwap(s, s-1) {
+			if s == 1 {
+				m.h.NoteUnlock()
+			}
 			return
 		}
 	}
@@ -96,33 +110,46 @@ func (m *RWMutex) Lock() {
 	}
 	h := m.h
 	h.Spinning(1)
-	park := h.ParkThreshold()
-	spins := 0
+	c := cadence{park: h.ParkThreshold()}
 	for {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
 			m.wwait.Add(-1)
 			h.Spinning(-1)
-			h.NoteSpins(spins)
+			h.NoteSpins(c.spins)
 			return
 		}
-		spins++
-		if spins%64 == 0 && spins >= park {
+		if c.next() {
 			if t, ok := h.TryClaim(); ok {
-				// Drop the writer-preference claim only while actually
-				// asleep: a sleeping writer that kept wwait raised
-				// would gate every reader for up to the sleep timeout,
-				// while dropping it on failed claims would leak
-				// readers past a waiting writer every 64 spins.
-				m.wwait.Add(-1)
-				t.Sleep()
-				m.wwait.Add(1)
-				h.NoteSpins(spins)
-				spins = 0
-				continue
+				if m.state.Load() == 0 {
+					// Freed between the poll and the claim: take it
+					// instead of stranding the unlock-side wake.
+					t.Cancel()
+				} else {
+					// Drop the writer-preference claim only while
+					// actually asleep: a sleeping writer that kept
+					// wwait raised would gate every reader for up to
+					// the sleep timeout, while dropping it on failed
+					// claims would leak readers past a waiting writer
+					// every park check.
+					m.wwait.Add(-1)
+					// Dropping wwait releases the reader gate, so it
+					// needs the same wake hook as an unlock: a reader
+					// that committed to parking because it saw our
+					// wwait (while the last read hold's NoteUnlock was
+					// suppressed by a then-spinning waiter) would
+					// otherwise sleep on a lock nobody will release
+					// again. NoteRelease, not NoteUnlock: our own
+					// claim is the newest parked entry and must not
+					// soak up the wake.
+					if m.state.Load() >= 0 {
+						t.NoteRelease()
+					}
+					t.Sleep()
+					m.wwait.Add(1)
+				}
+				h.NoteSpins(c.spins)
+				c.spins = 0
 			}
-		}
-		if spins%256 == 0 {
-			runtime.Gosched()
 		}
 	}
 }
@@ -141,26 +168,25 @@ func (m *RWMutex) LockNested() {
 	}
 	h := m.h
 	h.Spinning(1)
-	spins := 0
+	c := cadence{park: noPark}
 	for {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
 			m.wwait.Add(-1)
 			h.Spinning(-1)
-			h.NoteSpins(spins)
+			h.NoteSpins(c.spins)
 			return
 		}
-		spins++
-		if spins%256 == 0 {
-			runtime.Gosched()
-		}
+		c.next()
 	}
 }
 
-// Unlock releases the write hold.
+// Unlock releases the write hold, waking a parked waiter if no spinner
+// is left to take the lock.
 func (m *RWMutex) Unlock() {
 	if !m.state.CompareAndSwap(-1, 0) {
 		panic("golc: Unlock of RWMutex not held for writing")
 	}
+	m.h.NoteUnlock()
 }
 
 // SpinRWMutex is the uncontrolled baseline: the same reader/writer
@@ -175,17 +201,14 @@ func NewSpinRWMutex() *SpinRWMutex { return &SpinRWMutex{} }
 
 // RLock acquires the lock for reading.
 func (m *SpinRWMutex) RLock() {
-	spins := 0
+	c := cadence{park: noPark}
 	for {
 		if m.wwait.Load() == 0 {
 			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
 				return
 			}
 		}
-		spins++
-		if spins%256 == 0 {
-			runtime.Gosched()
-		}
+		c.next()
 	}
 }
 
@@ -206,16 +229,13 @@ func (m *SpinRWMutex) RUnlock() {
 // Lock acquires the lock for writing.
 func (m *SpinRWMutex) Lock() {
 	m.wwait.Add(1)
-	spins := 0
+	c := cadence{park: noPark}
 	for {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
 			m.wwait.Add(-1)
 			return
 		}
-		spins++
-		if spins%256 == 0 {
-			runtime.Gosched()
-		}
+		c.next()
 	}
 }
 

@@ -1,0 +1,53 @@
+package golc
+
+import "runtime"
+
+// The TATAS spin cadence shared by every lock in this package: waiters
+// poll the lock word every iteration, check the sleep-slot pool every
+// parkCheckEvery iterations once past the spin-then-park threshold,
+// and yield to the Go scheduler every goschedEvery iterations (a hard
+// spin can starve the lock holder's goroutine off its P). Both are
+// powers of two so the cadence tests are single masks, cheap enough
+// for next to inline into every spin loop.
+const (
+	parkCheckEvery = 64
+	goschedEvery   = 256
+)
+
+// cadence tracks one waiter's position in the spin cadence. The zero
+// value is not useful: set park to the runtime's ParkThreshold, or to
+// noPark for loops that must never park (the spin baselines and the
+// nested acquires of lock holders).
+type cadence struct {
+	spins int
+	park  int
+}
+
+// noPark disables the park path of a cadence. It is a sentinel, not a
+// real threshold: spins would overflow long before reaching it.
+const noPark = int(^uint(0) >> 1)
+
+// next advances one failed-acquire iteration, yielding to the
+// scheduler on the Gosched cadence, and reports whether this iteration
+// should take the park path (claim a sleep slot). It must stay under
+// the compiler's inlining budget — the spin loop is the hot path —
+// which is why everything off the every-iteration path lives in slow.
+func (c *cadence) next() bool {
+	c.spins++
+	if c.spins&(parkCheckEvery-1) != 0 {
+		return false
+	}
+	return c.slow()
+}
+
+// slow is the once-per-parkCheckEvery tail of next: scheduler
+// cooperation and the spin-then-park threshold test. A call here is
+// noise — it runs on at most 1/64 of spin iterations.
+//
+//go:noinline
+func (c *cadence) slow() bool {
+	if c.spins&(goschedEvery-1) == 0 {
+		runtime.Gosched()
+	}
+	return c.spins >= c.park
+}

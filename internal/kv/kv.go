@@ -165,6 +165,35 @@ func (s *Store) Close() {
 	}
 }
 
+// LatchStats sums the per-latch load-control counters across every
+// shard and index stripe (zero-valued in Spin and Std modes, which
+// register nothing with the runtime). The TimeoutWakes-vs-UnlockWakes
+// split is the serving-layer view of the wake path: timeout wakes mean
+// a latch sat free until the safety timeout; unlock wakes mean the
+// release handed it off immediately.
+func (s *Store) LatchStats() lcrt.LockStats {
+	agg := lcrt.LockStats{Name: "kv/all"}
+	add := func(mu golc.RWLocker) {
+		m, ok := mu.(*golc.RWMutex)
+		if !ok {
+			return
+		}
+		ls := m.Stats()
+		agg.Spins += ls.Spins
+		agg.Blocks += ls.Blocks
+		agg.ControllerWakes += ls.ControllerWakes
+		agg.TimeoutWakes += ls.TimeoutWakes
+		agg.UnlockWakes += ls.UnlockWakes
+	}
+	for _, sh := range s.shards {
+		add(sh.mu)
+	}
+	for _, st := range s.stripes {
+		add(st.mu)
+	}
+	return agg
+}
+
 // fnv64a is FNV-1a, the key hash.
 func fnv64a(s string) uint64 {
 	h := uint64(14695981039346656037)

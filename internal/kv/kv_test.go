@@ -163,6 +163,57 @@ func TestScan(t *testing.T) {
 	}
 }
 
+// TestLatchStats: the aggregate must equal the sum of the runtime's
+// per-latch snapshot entries (including the wake-path split), and stay
+// zero-valued in modes that register nothing with the runtime.
+func TestLatchStats(t *testing.T) {
+	rt := lcrt.New(lcrt.Options{Interval: time.Millisecond, SpinBeforePark: 64})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	s := newTestStore(t, Options{Shards: 1, IndexStripes: 1, Mode: LoadControlled, Runtime: rt})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Put(fmt.Sprintf("k%03d", i%50), fmt.Sprintf("v%d", (id+i)%8))
+			}
+		}(w)
+	}
+	wg.Wait()
+	agg := s.LatchStats()
+	if agg.Name != "kv/all" {
+		t.Fatalf("aggregate name = %q", agg.Name)
+	}
+	var want lcrt.LockStats
+	for _, ls := range rt.Snapshot().Locks {
+		want.Spins += ls.Spins
+		want.Blocks += ls.Blocks
+		want.ControllerWakes += ls.ControllerWakes
+		want.TimeoutWakes += ls.TimeoutWakes
+		want.UnlockWakes += ls.UnlockWakes
+	}
+	if agg.Spins != want.Spins || agg.Blocks != want.Blocks ||
+		agg.ControllerWakes != want.ControllerWakes ||
+		agg.TimeoutWakes != want.TimeoutWakes || agg.UnlockWakes != want.UnlockWakes {
+		t.Fatalf("aggregate %+v != runtime sum %+v", agg, want)
+	}
+	// Wake accounting must balance: every ended park was counted once.
+	if agg.Blocks < agg.ControllerWakes+agg.TimeoutWakes+agg.UnlockWakes {
+		t.Fatalf("more wakes than parks: %+v", agg)
+	}
+
+	for _, mode := range []LockMode{Spin, Std} {
+		s := newTestStore(t, Options{Shards: 2, IndexStripes: 2, Mode: mode})
+		s.Put("a", "1")
+		if agg := s.LatchStats(); agg.Spins != 0 || agg.Blocks != 0 {
+			t.Fatalf("%v mode reported runtime counters: %+v", mode, agg)
+		}
+	}
+}
+
 // TestConcurrentMixedOps drives every operation from many goroutines
 // under -race, then verifies store/index agreement.
 func TestConcurrentMixedOps(t *testing.T) {
