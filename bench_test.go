@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/locks"
+	"repro/internal/oltp"
 	"repro/internal/workload"
 )
 
@@ -422,6 +424,53 @@ func benchKVMixed(b *testing.B, mode kv.LockMode) {
 func BenchmarkKVMixedLoadControl(b *testing.B) { benchKVMixed(b, kv.LoadControlled) }
 func BenchmarkKVMixedSpin(b *testing.B)        { benchKVMixed(b, kv.Spin) }
 func BenchmarkKVMixedStd(b *testing.B)         { benchKVMixed(b, kv.Std) }
+
+// benchOLTPTATP runs the TATP-style transactional mix (internal/oltp:
+// hierarchical 2PL + wait-die over the kv store) at oversubscription,
+// per latch mode. Each iteration is one committed transaction
+// (including any wait-die retries); aborts/op reports how much
+// deadlock-avoidance work the mode generated along the way.
+func benchOLTPTATP(b *testing.B, mode kv.LockMode) {
+	prev := runtime.GOMAXPROCS(8 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	kvOpts := kv.Options{Shards: 16, IndexStripes: 8, Mode: mode}
+	dbOpts := oltp.Options{MaxRetries: -1}
+	if mode == kv.LoadControlled {
+		rt := lcrt.New(lcrt.Options{})
+		rt.Start()
+		b.Cleanup(rt.Stop)
+		kvOpts.Runtime = rt
+		dbOpts.Runtime = rt
+	}
+	store := kv.New(kvOpts)
+	b.Cleanup(store.Close)
+	db := oltp.New(store, dbOpts)
+	b.Cleanup(db.Close)
+	w := oltp.NewTATP(db, oltp.TATPConfig{Subscribers: 1024, HotAccessFrac: 0.6})
+	var seed atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+		for pb.Next() {
+			kind := w.PickKind(rng)
+			if err := w.Run(kind, rng); err != nil {
+				b.Errorf("%v failed terminally: %v", kind, err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	m := db.Metrics()
+	if m.Commits == 0 {
+		b.Fatal("no transactions committed")
+	}
+	b.ReportMetric(float64(m.Aborts)/float64(b.N), "aborts/op")
+}
+
+func BenchmarkOLTPTATPLoadControl(b *testing.B) { benchOLTPTATP(b, kv.LoadControlled) }
+func BenchmarkOLTPTATPSpin(b *testing.B)        { benchOLTPTATP(b, kv.Spin) }
+func BenchmarkOLTPTATPStd(b *testing.B)         { benchOLTPTATP(b, kv.Std) }
 
 // BenchmarkKVScan measures prefix scans (one shard latch at a time).
 func BenchmarkKVScan(b *testing.B) {

@@ -17,16 +17,30 @@
 // (the paper's original timeout-only design) the cold lock sits free
 // until the 100ms safety timeout.
 //
+// The -oltp flag runs the TATP-style transactional workload from
+// internal/oltp instead: a hierarchical lock manager and strict-2PL
+// transactions over the kv store, swept across spin, block
+// (sync.RWMutex) and load-control latch modes at a multiprogramming
+// level of -mp x NumCPU (default 8x — the paper's overload regime),
+// reporting commit/abort throughput and p50/p99 commit latency per
+// mode. This is the paper's Shore-MT experiment shape on real
+// hardware: transactions hold several logical locks at once while
+// every physical latch under them is governed (or not) by the load
+// controller.
+//
 // Usage:
 //
 //	lcbench -goroutines 64 -locks 8 -cs 500ns -think 2us -duration 3s -lc
 //	lcbench -adversarial
 //	lcbench -adversarial -nowake   # ablation: timeout-only wakes
+//	lcbench -oltp                  # TATP mix, spin vs block vs load-control
+//	lcbench -oltp -mp 16 -subs 8192 -hot 0.8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +50,8 @@ import (
 
 	"repro/internal/golc"
 	lcrt "repro/internal/golc/runtime"
+	"repro/internal/kv"
+	"repro/internal/oltp"
 )
 
 func main() {
@@ -49,8 +65,22 @@ func main() {
 		perLock     = flag.Bool("perlock", false, "old design: one private runtime per lock instead of one shared")
 		adversarial = flag.Bool("adversarial", false, "run the hot-lock/cold-lock unlock-wake scenario instead")
 		noWake      = flag.Bool("nowake", false, "with -adversarial: disable the unlock-side wake (timeout-only baseline)")
+		oltpMode    = flag.Bool("oltp", false, "run the TATP-style transactional workload (spin vs block vs load-control) instead")
+		mp          = flag.Int("mp", 8, "with -oltp: multiprogramming level as a multiple of NumCPU (GOMAXPROCS = mp x NumCPU)")
+		subs        = flag.Int("subs", 4096, "with -oltp: TATP subscriber population")
+		hot         = flag.Float64("hot", 0.6, "with -oltp: fraction of transactions aimed at the hot subscriber set")
 	)
 	flag.Parse()
+	if *oltpMode {
+		workers := 0 // auto: 4x the raised GOMAXPROCS
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "goroutines" {
+				workers = *n
+			}
+		})
+		runOLTP(workers, *mp, *subs, *hot, *duration)
+		return
+	}
 	if *adversarial {
 		runAdversarial(*n, *duration, *noWake)
 		return
@@ -262,6 +292,152 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 		cs.Blocks, cs.ControllerWakes, cs.UnlockWakes, cs.TimeoutWakes)
 	fmt.Printf("runtime: claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d slot-rejects=%d\n",
 		snap.Claims, snap.ControllerWakes, snap.UnlockWakes, snap.TimeoutWakes, snap.Cancels, snap.SlotRejects)
+}
+
+// oltpResult is one OLTP phase's outcome.
+type oltpResult struct {
+	mode     kv.LockMode
+	label    string
+	rate     float64 // commits/s
+	abortsPS float64
+	p50, p99 time.Duration
+	metrics  oltp.MetricsSnapshot
+	snap     *lcrt.Snapshot
+}
+
+// runOLTP sweeps the TATP-style mix across the three latch modes at
+// high multiprogramming. Per phase: a fresh store + DB + TATP
+// population, `workers` goroutines each running the mix, commit
+// latency sampled per successful transaction (including its retries —
+// the user-visible latency).
+func runOLTP(workers, mp, subscribers int, hotFrac float64, duration time.Duration) {
+	if mp > 0 {
+		runtime.GOMAXPROCS(mp * runtime.NumCPU())
+	}
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("oltp: TATP-style mix, %d workers, GOMAXPROCS=%d on %d CPU(s) (%dx multiprogramming), "+
+		"%d subscribers, hot-frac %.2f, %v per phase\n\n",
+		workers, runtime.GOMAXPROCS(0), runtime.NumCPU(),
+		runtime.GOMAXPROCS(0)/runtime.NumCPU(), subscribers, hotFrac, duration)
+
+	results := []oltpResult{
+		runOLTPPhase(kv.Spin, "spin", workers, subscribers, hotFrac, duration),
+		runOLTPPhase(kv.Std, "block", workers, subscribers, hotFrac, duration),
+		runOLTPPhase(kv.LoadControlled, "load-control", workers, subscribers, hotFrac, duration),
+	}
+
+	fmt.Println("\nsummary:")
+	fmt.Printf("  %-14s %14s %12s %12s %12s\n", "mode", "commit/s", "abort/s", "p50", "p99")
+	for _, r := range results {
+		fmt.Printf("  %-14s %14.0f %12.1f %12v %12v\n", r.label, r.rate, r.abortsPS, r.p50, r.p99)
+	}
+	spin, lc := results[0], results[2]
+	if spin.rate > 0 {
+		fmt.Printf("\nload-control / spin commit throughput: %.2fx\n", lc.rate/spin.rate)
+	}
+	if s := lc.snap; s != nil {
+		fmt.Printf("controller: updates=%d claims=%d wakes[controller=%d unlock=%d timeout=%d] latches=%d\n",
+			s.Updates, s.Claims, s.ControllerWakes, s.UnlockWakes, s.TimeoutWakes, s.LocksRegistered)
+		for _, ls := range s.TopContended(3) {
+			fmt.Printf("  contended latch %-16s parks=%d unlock-wakes=%d spins=%d\n",
+				ls.Name, ls.Blocks, ls.UnlockWakes, ls.Spins)
+		}
+	}
+	if lc.rate >= spin.rate {
+		fmt.Println("\nresult: load control sustained commit throughput under oversubscription.")
+	} else {
+		fmt.Println("\nresult: WARNING — spin outperformed load control on this machine/configuration.")
+	}
+}
+
+// runOLTPPhase measures one latch mode end to end.
+func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotFrac float64, duration time.Duration) oltpResult {
+	var rt *lcrt.Runtime
+	kvOpts := kv.Options{Shards: 16, IndexStripes: 8, Mode: mode}
+	dbOpts := oltp.Options{MaxRetries: -1}
+	if mode == kv.LoadControlled {
+		rt = lcrt.New(lcrt.Options{})
+		rt.Start()
+		kvOpts.Runtime = rt
+		dbOpts.Runtime = rt
+	}
+	store := kv.New(kvOpts)
+	db := oltp.New(store, dbOpts)
+	w := oltp.NewTATP(db, oltp.TATPConfig{Subscribers: subscribers, HotAccessFrac: hotFrac})
+
+	stop := make(chan struct{})
+	var measuring atomic.Bool
+	var commits, failures atomic.Uint64
+	latencies := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				kind := w.PickKind(rng)
+				t0 := time.Now()
+				if err := w.Run(kind, rng); err != nil {
+					failures.Add(1)
+					continue
+				}
+				if measuring.Load() {
+					latencies[id] = append(latencies[id], time.Since(t0))
+					commits.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(duration / 4) // warmup
+	measuring.Store(true)
+	t0 := time.Now()
+	m0 := db.Metrics()
+	time.Sleep(duration)
+	measuring.Store(false)
+	m1 := db.Metrics()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := oltpResult{
+		mode:     mode,
+		label:    label,
+		rate:     float64(commits.Load()) / elapsed.Seconds(),
+		abortsPS: float64(m1.Aborts-m0.Aborts) / elapsed.Seconds(),
+		metrics:  m1,
+	}
+	if len(all) > 0 {
+		q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+		res.p50, res.p99 = q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond)
+	}
+	if rt != nil {
+		snap := rt.Snapshot()
+		res.snap = &snap
+		rt.Stop()
+	}
+	db.Close()
+	store.Close()
+	fmt.Printf("phase %-14s %12.0f commit/s  p50=%-10v p99=%-10v aborts[wait-die=%d timeout=%d] retries=%d lock-waits=%d latch-misses=%d\n",
+		label, res.rate, res.p50, res.p99,
+		m1.WaitDieAborts, m1.TimeoutAborts, m1.Retries, m1.LockWaits, m1.LatchMisses)
+	if n := failures.Load(); n > 0 {
+		fmt.Printf("phase %-14s WARNING: %d transactions failed terminally (excluded from throughput)\n", label, n)
+	}
+	return res
 }
 
 // spinFor busy-waits for roughly d (calibrated coarsely; this is a

@@ -10,8 +10,16 @@
 //	curl localhost:8080/kv/user:0001
 //	curl 'localhost:8080/scan?prefix=user:&limit=10'
 //	curl 'localhost:8080/lookup?value=tier-1'
-//	curl localhost:8080/stats          # runtime + per-latch snapshot
+//	curl localhost:8080/stats          # runtime + per-latch snapshot + top contended locks
 //	curl localhost:8080/debug/vars     # expvar (includes "golc")
+//
+// The /txn endpoint executes a multi-operation transaction through the
+// internal/oltp layer (strict 2PL on the hierarchical lock manager,
+// wait-die retries included):
+//
+//	curl -X POST localhost:8080/txn -d '{"ops":[
+//	  {"op":"read","table":"acct","key":"alice"},
+//	  {"op":"write","table":"acct","key":"alice","value":"100"}]}'
 //
 // Loadgen mode — demonstrate the paper's claim end to end: raise the
 // OS-thread multiprogramming level above the CPU count (the paper's
@@ -39,7 +47,6 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,6 +55,7 @@ import (
 
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
+	"repro/internal/oltp"
 )
 
 func main() {
@@ -90,8 +98,9 @@ func main() {
 		os.Exit(2)
 	}
 	store := kv.New(kv.Options{Shards: *shards, IndexStripes: *stripes, Mode: lockMode})
+	db := oltp.New(store, oltp.Options{})
 	fmt.Printf("lcserve: serving %d-shard kv (%s latches) on %s\n", store.Shards(), store.Mode(), *addr)
-	if err := http.ListenAndServe(*addr, newHandler(store)); err != nil {
+	if err := http.ListenAndServe(*addr, newHandler(store, db)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -110,8 +119,109 @@ func parseMode(s string) (kv.LockMode, error) {
 	}
 }
 
+// txnRequest is the /txn wire format: an ordered list of operations
+// executed as one strict-2PL transaction.
+type txnRequest struct {
+	Ops []txnOp `json:"ops"`
+}
+
+type txnOp struct {
+	Op        string `json:"op"` // read | write | delete | read-partition
+	Table     string `json:"table"`
+	Key       string `json:"key"`
+	Value     string `json:"value"`
+	Partition int    `json:"partition"`
+}
+
+// txnOpResult aligns 1:1 with the request ops.
+type txnOpResult struct {
+	Value string  `json:"value,omitempty"`
+	Found *bool   `json:"found,omitempty"`
+	Rows  []kv.KV `json:"rows,omitempty"`
+}
+
+type txnResponse struct {
+	Committed bool          `json:"committed"`
+	Error     string        `json:"error,omitempty"`
+	Results   []txnOpResult `json:"results,omitempty"`
+}
+
+// handleTxn executes one transaction via DB.Run (wait-die aborts are
+// retried under the original timestamp; only terminal failures reach
+// the client, as 409).
+func handleTxn(db *oltp.DB, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req txnRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "empty transaction", http.StatusBadRequest)
+		return
+	}
+	for _, op := range req.Ops {
+		switch op.Op {
+		case "read", "write", "delete":
+			if op.Table == "" || op.Key == "" {
+				http.Error(w, "read/write/delete need table and key", http.StatusBadRequest)
+				return
+			}
+		case "read-partition":
+			if op.Table == "" || op.Partition < 0 || op.Partition >= db.Store().Shards() {
+				http.Error(w, "read-partition needs table and a valid partition", http.StatusBadRequest)
+				return
+			}
+		default:
+			http.Error(w, fmt.Sprintf("unknown op %q", op.Op), http.StatusBadRequest)
+			return
+		}
+	}
+	var results []txnOpResult
+	err := db.Run(func(t *oltp.Txn) error {
+		results = results[:0] // a retry re-runs every op
+		for _, op := range req.Ops {
+			switch op.Op {
+			case "read":
+				v, ok, err := t.Read(op.Table, op.Key)
+				if err != nil {
+					return err
+				}
+				results = append(results, txnOpResult{Value: v, Found: &ok})
+			case "write":
+				if err := t.Write(op.Table, op.Key, op.Value); err != nil {
+					return err
+				}
+				results = append(results, txnOpResult{})
+			case "delete":
+				if err := t.Delete(op.Table, op.Key); err != nil {
+					return err
+				}
+				results = append(results, txnOpResult{})
+			case "read-partition":
+				rows, err := t.ReadPartition(op.Table, op.Partition)
+				if err != nil {
+					return err
+				}
+				results = append(results, txnOpResult{Rows: rows})
+			}
+		}
+		return nil
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(txnResponse{Committed: false, Error: err.Error()})
+		return
+	}
+	json.NewEncoder(w).Encode(txnResponse{Committed: true, Results: results})
+}
+
 // newHandler builds the service mux for one store.
-func newHandler(store *kv.Store) http.Handler {
+func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
 		key := strings.TrimPrefix(r.URL.Path, "/kv/")
@@ -175,17 +285,40 @@ func newHandler(store *kv.Store) http.Handler {
 			fmt.Fprintln(w, k)
 		}
 	})
+	mux.HandleFunc("/txn", func(w http.ResponseWriter, r *http.Request) {
+		handleTxn(db, w, r)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		latches, err := json.Marshal(store.LatchStats())
 		if err != nil {
 			latches = []byte("null")
 		}
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"latches":%s,"runtime":%s}`+"\n",
-			store.Shards(), store.Len(), store.Mode().String(), latches, snapshotJSON())
+		oltpStats, err := json.Marshal(db.Metrics())
+		if err != nil {
+			oltpStats = []byte("null")
+		}
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
+			store.Shards(), store.Len(), store.Mode().String(), latches, oltpStats,
+			topLocksJSON(store.Mode()), snapshotJSON())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// topLocksJSON renders the N most contended locks of the process-wide
+// runtime (parks + unlock wakes, per runtime.Snapshot.TopContended) so
+// OLTP hot partitions show up by name instead of drowning in the
+// aggregate totals. Null in spin/std modes, where nothing registers.
+func topLocksJSON(mode kv.LockMode) string {
+	if mode != kv.LoadControlled {
+		return "null"
+	}
+	b, err := json.Marshal(lcrt.Default().Snapshot().TopContended(5))
+	if err != nil {
+		return "null"
+	}
+	return string(b)
 }
 
 // snapshotJSON renders the default runtime's snapshot via its expvar
@@ -237,11 +370,9 @@ func runLoadgen(shards, stripes, conns int, duration time.Duration, keys int, ov
 		// the 100ms safety backstop.
 		fmt.Printf("controller: updates=%d claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d latches=%d\n",
 			s.Updates, s.Claims, s.ControllerWakes, s.UnlockWakes, s.TimeoutWakes, s.Cancels, s.LocksRegistered)
-		top := append([]lcrt.LockStats(nil), s.Locks...)
-		sort.Slice(top, func(i, j int) bool { return top[i].Blocks > top[j].Blocks })
-		for i := 0; i < len(top) && i < 3; i++ {
+		for _, ls := range s.TopContended(3) {
 			fmt.Printf("  hottest latch %-16s spins=%d blocks=%d unlock-wakes=%d timeout-wakes=%d\n",
-				top[i].Name, top[i].Spins, top[i].Blocks, top[i].UnlockWakes, top[i].TimeoutWakes)
+				ls.Name, ls.Spins, ls.Blocks, ls.UnlockWakes, ls.TimeoutWakes)
 		}
 	}
 	if on.rate >= off.rate {
@@ -273,7 +404,7 @@ func runPhase(mode kv.LockMode, shards, stripes, conns int, duration time.Durati
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: newHandler(store)}
+		srv := &http.Server{Handler: newHandler(store, oltp.New(store, oltp.Options{Runtime: rt}))}
 		go srv.Serve(ln)
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        conns,

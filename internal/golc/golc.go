@@ -40,3 +40,14 @@ type RWLocker interface {
 	RLock()
 	RUnlock()
 }
+
+// TryLocker is a Locker with a non-blocking acquire, implemented by
+// Mutex, SpinMutex, RWMutex and SpinRWMutex (and satisfied by
+// *sync.Mutex and *sync.RWMutex). A failed TryLock costs one atomic
+// read-modify-write and touches no load-control state, which makes it
+// the right probe for callers that want to count contention (try,
+// then fall back to Lock) or avoid blocking entirely.
+type TryLocker interface {
+	Locker
+	TryLock() bool
+}

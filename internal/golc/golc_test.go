@@ -535,3 +535,106 @@ func TestSpinRWMutex(t *testing.T) {
 		t.Fatalf("counter = %d, want 8000", counter)
 	}
 }
+
+// TestTryLock covers the non-blocking acquire across every lock type
+// (all four implement TryLocker, as do the sync types).
+func TestTryLock(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mutexes := []struct {
+		name string
+		mu   TryLocker
+	}{
+		{"Mutex", NewMutex(rt)},
+		{"SpinMutex", NewSpinMutex()},
+		{"RWMutex", NewRWMutex(rt)},
+		{"SpinRWMutex", NewSpinRWMutex()},
+		{"sync.Mutex", new(sync.Mutex)},
+		{"sync.RWMutex", new(sync.RWMutex)},
+	}
+	for _, tc := range mutexes {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.mu.TryLock() {
+				t.Fatal("TryLock failed on a free lock")
+			}
+			if tc.mu.TryLock() {
+				t.Fatal("TryLock succeeded on a held lock")
+			}
+			tc.mu.Unlock()
+			if !tc.mu.TryLock() {
+				t.Fatal("TryLock failed after Unlock")
+			}
+			tc.mu.Unlock()
+		})
+	}
+}
+
+// TestTryRLock: readers probe past reader-held locks but never past a
+// writer or the writer-preference gate.
+func TestTryRLock(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewRWMutex(rt)
+	if !mu.TryRLock() {
+		t.Fatal("TryRLock failed on a free lock")
+	}
+	if !mu.TryRLock() {
+		t.Fatal("TryRLock failed alongside another reader")
+	}
+	mu.RUnlock()
+	mu.RUnlock()
+	if !mu.TryLock() {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	if mu.TryRLock() {
+		t.Fatal("TryRLock succeeded under a writer")
+	}
+	mu.Unlock()
+
+	// A blocked waiting writer must gate TryRLock (writer preference).
+	mu.RLock()
+	writerIn := make(chan struct{})
+	go func() {
+		close(writerIn)
+		mu.Lock()
+		mu.Unlock()
+	}()
+	<-writerIn
+	deadline := time.Now().Add(2 * time.Second)
+	gated := false
+	for time.Now().Before(deadline) {
+		if !mu.TryRLock() {
+			gated = true
+			break
+		}
+		mu.RUnlock() // writer not queued yet; retry
+		time.Sleep(100 * time.Microsecond)
+	}
+	if !gated {
+		t.Fatal("TryRLock never observed the writer-preference gate")
+	}
+	mu.RUnlock() // release the read hold so the writer can finish
+}
+
+// TestTryLockConcurrent: under contention TryLock must never grant two
+// holders (the mutual-exclusion property of the probe path).
+func TestTryLockConcurrent(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewMutex(rt)
+	var holders atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if mu.TryLock() {
+					if h := holders.Add(1); h != 1 {
+						t.Errorf("%d holders inside critical section", h)
+					}
+					holders.Add(-1)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -34,13 +34,23 @@ func NewNamedMutex(rt *lcrt.Runtime, name string) *Mutex {
 }
 
 // Close unregisters the mutex from its runtime's metrics registry. The
-// mutex stays usable; Close only removes it from snapshots. Locks are
-// meant to be long-lived — short-lived mutexes on the Default runtime
-// must be Closed or the registry grows without bound.
+// mutex stays usable; Close only removes it from snapshots. The
+// registry is also GC-aware (an unreachable mutex's entry is reclaimed
+// automatically), so Close is about prompt, deterministic removal —
+// e.g. retiring a live lock's metrics — not about preventing leaks.
 func (m *Mutex) Close() { m.h.Close() }
 
 // Stats returns the lock's per-lock counters.
 func (m *Mutex) Stats() lcrt.LockStats { return m.h.Stats() }
+
+// TryLock acquires the mutex if it is free, without spinning or
+// parking, and reports whether it succeeded. A failed TryLock touches
+// no runtime state (no census entry, no metrics), so it is safe on
+// paths that must never generate load — e.g. contention probes that
+// fall back to Lock and count the miss.
+func (m *Mutex) TryLock() bool {
+	return m.state.CompareAndSwap(0, 1)
+}
 
 // Lock acquires the mutex.
 func (m *Mutex) Lock() {
@@ -96,6 +106,11 @@ type SpinMutex struct {
 
 // NewSpinMutex returns an uncontrolled spinlock.
 func NewSpinMutex() *SpinMutex { return &SpinMutex{} }
+
+// TryLock acquires the spinlock if it is free, without spinning.
+func (m *SpinMutex) TryLock() bool {
+	return m.state.CompareAndSwap(0, 1)
+}
 
 // Lock acquires the spinlock.
 func (m *SpinMutex) Lock() {

@@ -28,19 +28,23 @@
 //     no spinners left, enforcing a per-lock floor of one awake waiter.
 //     The 100ms safety timeout remains only as the last-resort backstop
 //     (controller death, custom lock code that never calls NoteUnlock).
-//   - Registered locks stay in the metrics registry until their
-//     Handle's Close is called. Locks are meant to be long-lived
-//     (shards, latches, global structures); code that creates
-//     transient locks on the Default runtime must Close them or the
-//     registry grows without bound.
+//   - The metrics registry holds locks weakly. A registered lock stays
+//     visible in Snapshot until its Handle's Close is called or the
+//     Handle becomes unreachable, whichever comes first: registry
+//     entries are weak pointers with a GC cleanup, so transient locks
+//     created without a Close cannot grow the registry without bound.
+//     Close remains the prompt, deterministic path (metrics disappear
+//     immediately); GC collection is the backstop for code that forgot.
 package runtime
 
 import (
 	"expvar"
+	goruntime "runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+	"weak"
 )
 
 // LoadFunc reports current excess load in runnable workers: the
@@ -103,7 +107,15 @@ type LockStats struct {
 	ControllerWakes uint64 // parks ended by a controller wake
 	TimeoutWakes    uint64 // parks ended by the safety timeout
 	UnlockWakes     uint64 // parks ended by the lock's own unlock
+	SpinningNow     int64  // waiters spinning at snapshot time
+	SleepingNow     int64  // waiters parked at snapshot time
 }
+
+// Contention is the sort key for "most contended": parks plus unlock
+// wakes. Parks are the direct cost of contention (a waiter gave up
+// spinning); unlock wakes mean the lock was so backed up that releases
+// kept finding parked waiters with no spinner left.
+func (ls LockStats) Contention() uint64 { return ls.Blocks + ls.UnlockWakes }
 
 // Snapshot is a point-in-time view of the runtime, suitable for expvar.
 type Snapshot struct {
@@ -154,8 +166,13 @@ type Runtime struct {
 	scan  int // wake cursor: where wakeOne resumes its scan
 	place int // claim cursor: where trySleep resumes its free-slot scan
 
+	// locks is the weak metrics registry: entries do not keep a Handle
+	// alive. A weak.Pointer is a stable, comparable proxy for its
+	// Handle, so it can key the set while the Handle remains
+	// collectable; dead entries are removed by each Handle's GC cleanup
+	// and opportunistically pruned by Snapshot.
 	regMu sync.Mutex
-	locks map[*Handle]struct{}
+	locks map[weak.Pointer[Handle]]struct{}
 
 	updates         atomic.Uint64
 	claims          atomic.Uint64
@@ -177,7 +194,7 @@ func New(opts Options) *Runtime {
 	return &Runtime{
 		opts:  o,
 		slots: make([]*sleeper, o.BufferCap),
-		locks: make(map[*Handle]struct{}),
+		locks: make(map[weak.Pointer[Handle]]struct{}),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -231,18 +248,28 @@ func (r *Runtime) Stop() {
 
 // Register attaches a lock to the runtime and returns its Handle. The
 // name is only for metrics; it need not be unique.
+//
+// Registration is weak: the registry never keeps the Handle alive.
+// When the lock (and so its Handle) becomes unreachable, a GC cleanup
+// removes the entry, so transient locks that are never Closed do not
+// leak registry entries. Close remains the deterministic removal path.
 func (r *Runtime) Register(name string) *Handle {
 	h := &Handle{rt: r, name: name}
+	h.self = weak.Make(h)
 	r.regMu.Lock()
-	r.locks[h] = struct{}{}
+	r.locks[h.self] = struct{}{}
 	r.regMu.Unlock()
+	// The cleanup receives the weak pointer, not h (AddCleanup forbids
+	// the argument keeping ptr reachable). Running it after an explicit
+	// Close is a harmless double delete.
+	goruntime.AddCleanup(h, func(wp weak.Pointer[Handle]) { r.unregister(wp) }, h.self)
 	return h
 }
 
-// unregister detaches a handle (see Handle.Close).
-func (r *Runtime) unregister(h *Handle) {
+// unregister detaches a registry entry (Handle.Close or GC cleanup).
+func (r *Runtime) unregister(wp weak.Pointer[Handle]) {
 	r.regMu.Lock()
-	delete(r.locks, h)
+	delete(r.locks, wp)
 	r.regMu.Unlock()
 }
 
@@ -273,13 +300,42 @@ func (r *Runtime) Snapshot() Snapshot {
 		Target:          int(r.target.Load()),
 	}
 	r.regMu.Lock()
-	snap.LocksRegistered = len(r.locks)
-	for h := range r.locks {
+	for wp := range r.locks {
+		h := wp.Value()
+		if h == nil {
+			// Collected before its cleanup ran: prune now so
+			// LocksRegistered counts only live locks.
+			delete(r.locks, wp)
+			continue
+		}
 		snap.Locks = append(snap.Locks, h.Stats())
 	}
+	snap.LocksRegistered = len(r.locks)
 	r.regMu.Unlock()
 	sort.Slice(snap.Locks, func(i, j int) bool { return snap.Locks[i].Name < snap.Locks[j].Name })
 	return snap
+}
+
+// TopContended returns the n most contended locks of the snapshot,
+// ranked by LockStats.Contention (parks + unlock wakes, ties broken by
+// name for stable output), skipping locks with no contention at all.
+func (s Snapshot) TopContended(n int) []LockStats {
+	top := make([]LockStats, 0, len(s.Locks))
+	for _, ls := range s.Locks {
+		if ls.Contention() > 0 {
+			top = append(top, ls)
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if ci, cj := top[i].Contention(), top[j].Contention(); ci != cj {
+			return ci > cj
+		}
+		return top[i].Name < top[j].Name
+	})
+	if n >= 0 && len(top) > n {
+		top = top[:n]
+	}
+	return top
 }
 
 var pubMu sync.Mutex
@@ -490,6 +546,8 @@ func (r *Runtime) cancel(s *sleeper) {
 type Handle struct {
 	rt   *Runtime
 	name string
+	// self is this handle's registry key (see Register).
+	self weak.Pointer[Handle]
 
 	// spinning is this lock's slice of the census; sleepers counts its
 	// parked waiters. NoteUnlock reads them (sleepers first) to decide
@@ -524,7 +582,9 @@ func (h *Handle) Runtime() *Runtime { return h.rt }
 // Close unregisters the lock from the runtime's metrics registry. The
 // handle remains usable (a closed handle only stops appearing in
 // Snapshot), so a racing Lock never observes a torn-down handle.
-func (h *Handle) Close() { h.rt.unregister(h) }
+// Registration is also GC-aware (see Register), so Close is about
+// prompt, deterministic removal rather than correctness.
+func (h *Handle) Close() { h.rt.unregister(h.self) }
 
 // Spinning adjusts the shared spinner census by delta. Locks call
 // Spinning(1) when a waiter starts spinning and Spinning(-1) when it
@@ -646,6 +706,14 @@ func (h *Handle) Park() bool {
 	return true
 }
 
+// Waiters reports the lock's current waiter population: goroutines
+// spinning in its acquire loops and goroutines parked in the slot pool
+// on its behalf. Point-in-time reads of two atomics — cheap enough for
+// deadlock bookkeeping and contention dashboards to poll.
+func (h *Handle) Waiters() (spinning, sleeping int64) {
+	return h.spinning.Load(), h.sleepers.Load()
+}
+
 // Stats returns the lock's counters.
 func (h *Handle) Stats() LockStats {
 	return LockStats{
@@ -655,5 +723,7 @@ func (h *Handle) Stats() LockStats {
 		ControllerWakes: h.controllerWakes.Load(),
 		TimeoutWakes:    h.timeoutWakes.Load(),
 		UnlockWakes:     h.unlockWakes.Load(),
+		SpinningNow:     h.spinning.Load(),
+		SleepingNow:     h.sleepers.Load(),
 	}
 }

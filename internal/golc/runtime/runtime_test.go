@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -524,12 +525,16 @@ func TestCustomLoadFunc(t *testing.T) {
 	waitFor(t, "target=0", func() bool { return rt.Snapshot().Target == 0 })
 }
 
+// publishedLock pins TestPublishExpvar's handle for the life of the
+// process: expvar publication is once per process, so under -count>1
+// later runs read the first run's runtime — the registry is weak, and
+// only a reachable handle is guaranteed to still appear in it.
+var publishedLock *Handle
+
 func TestPublishExpvar(t *testing.T) {
 	rt := New(Options{})
-	// Deliberately never Closed: expvar publication is once per
-	// process, so under -count>1 later runs read the first run's
-	// runtime — its registry must still hold the lock.
-	rt.Register("published-lock")
+	// Deliberately never Closed (see publishedLock).
+	publishedLock = rt.Register("published-lock")
 	rt.Publish("golc-test")
 	rt.Publish("golc-test") // duplicate must not panic
 	v := expvar.Get("golc-test")
@@ -552,6 +557,92 @@ func TestDefaultRuntimeSingleton(t *testing.T) {
 	}
 	if expvar.Get("golc") == nil {
 		t.Fatal("default runtime not published as expvar \"golc\"")
+	}
+}
+
+// TestWeakRegistrationReclaimsLeakedHandles is the LocksRegistered
+// leak tripwire: handles registered without a Close must vanish from
+// the registry once unreachable. Before weak registration this grew
+// without bound (the ROADMAP open item this test retires).
+func TestWeakRegistrationReclaimsLeakedHandles(t *testing.T) {
+	rt := New(Options{})
+	keep := rt.Register("keeper")
+	const leaked = 512
+	for i := 0; i < leaked; i++ {
+		rt.Register(fmt.Sprintf("transient-%03d", i)) // deliberately dropped
+	}
+	// The leaked handles may already be gone (the loop's last iteration
+	// aside); what matters is that after GC the registry converges to
+	// the one live handle. Cleanups run asynchronously, but Snapshot
+	// itself prunes entries whose weak pointer is dead, so one settled
+	// GC round is enough in practice; poll to be robust.
+	waitFor(t, "leaked handles reclaimed", func() bool {
+		goruntime.GC()
+		return rt.Snapshot().LocksRegistered == 1
+	})
+	snap := rt.Snapshot()
+	if len(snap.Locks) != 1 || snap.Locks[0].Name != "keeper" {
+		t.Fatalf("survivors = %+v", snap.Locks)
+	}
+	// Close still works on a live handle, and is idempotent with the
+	// eventual GC cleanup.
+	keep.Close()
+	if n := rt.Snapshot().LocksRegistered; n != 0 {
+		t.Fatalf("registry after Close = %d", n)
+	}
+}
+
+// TestWaitersExposure: the spinning/sleeping point-in-time counts used
+// for deadlock bookkeeping and the /stats top-N view.
+func TestWaitersExposure(t *testing.T) {
+	rt := New(Options{SleepTimeout: 10 * time.Second})
+	rt.setTarget(1)
+	h := rt.Register("waiters")
+	defer h.Close()
+	h.Spinning(1)
+	if sp, sl := h.Waiters(); sp != 1 || sl != 0 {
+		t.Fatalf("Waiters = %d,%d after Spinning(1)", sp, sl)
+	}
+	tk, ok := h.TryClaim()
+	if !ok {
+		t.Fatal("claim failed with open target")
+	}
+	if sp, sl := h.Waiters(); sp != 0 || sl != 1 {
+		t.Fatalf("Waiters = %d,%d after claim", sp, sl)
+	}
+	ls := h.Stats()
+	if ls.SpinningNow != 0 || ls.SleepingNow != 1 {
+		t.Fatalf("Stats now-counts = %+v", ls)
+	}
+	tk.Cancel()
+	h.Spinning(-1)
+	if sp, sl := h.Waiters(); sp != 0 || sl != 0 {
+		t.Fatalf("Waiters = %d,%d after cancel", sp, sl)
+	}
+}
+
+// TestTopContended: ranking by parks + unlock wakes, stable ties,
+// zero-contention locks dropped.
+func TestTopContended(t *testing.T) {
+	snap := Snapshot{Locks: []LockStats{
+		{Name: "idle"},
+		{Name: "warm", Blocks: 3},
+		{Name: "hot", Blocks: 10, UnlockWakes: 5},
+		{Name: "tie-b", Blocks: 3},
+		{Name: "busy", Blocks: 2, UnlockWakes: 9},
+	}}
+	got := snap.TopContended(3)
+	want := []string{"hot", "busy", "tie-b"}
+	if len(got) != len(want) {
+		t.Fatalf("TopContended = %+v", got)
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("TopContended[%d] = %q, want %q (full: %+v)", i, got[i].Name, name, got)
+		}
+	}
+	if all := snap.TopContended(-1); len(all) != 4 {
+		t.Fatalf("TopContended(-1) kept %d entries, want 4 (idle dropped)", len(all))
 	}
 }
 

@@ -101,6 +101,30 @@ func (m *RWMutex) RUnlock() {
 	}
 }
 
+// TryLock acquires the lock for writing if it is immediately free,
+// without raising the writer-preference gate, spinning, or parking.
+func (m *RWMutex) TryLock() bool {
+	return m.state.CompareAndSwap(0, -1)
+}
+
+// TryRLock acquires the lock for reading if no writer holds or awaits
+// it, without spinning or parking. It retries only CAS failures caused
+// by reader-count churn, never a writer.
+func (m *RWMutex) TryRLock() bool {
+	for {
+		if m.wwait.Load() != 0 {
+			return false
+		}
+		s := m.state.Load()
+		if s < 0 {
+			return false
+		}
+		if m.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
 // Lock acquires the lock for writing.
 func (m *RWMutex) Lock() {
 	m.wwait.Add(1)
@@ -224,6 +248,11 @@ func (m *SpinRWMutex) RUnlock() {
 			return
 		}
 	}
+}
+
+// TryLock acquires the lock for writing if it is immediately free.
+func (m *SpinRWMutex) TryLock() bool {
+	return m.state.CompareAndSwap(0, -1)
 }
 
 // Lock acquires the lock for writing.

@@ -13,9 +13,9 @@
 // Lock ordering: a shard latch may be held while acquiring index
 // stripe latches; stripe latches are always acquired in ascending
 // stripe order; neither is ever held while acquiring a shard latch.
-// This makes Put/Delete deadlock-free against each other and against
-// Scan (shard latches only, one at a time) and Lookup (one stripe
-// latch only).
+// This makes Put/Delete/ApplyBatch deadlock-free against each other
+// and against Scan (shard latches only, one at a time) and Lookup
+// (one stripe latch only).
 package kv
 
 import (
@@ -211,8 +211,16 @@ func ShardIndex(key string, n int) int {
 	return int((fnv64a(key) * 0x9e3779b97f4a7c15) % uint64(n))
 }
 
+// ShardOf reports which of this store's shards key routes to. Layers
+// above the store use it as their partition map — internal/oltp's
+// partition-level locks are keyed by it, so a "hot partition" in the
+// transaction layer is exactly a hot shard latch down here.
+func (s *Store) ShardOf(key string) int {
+	return ShardIndex(key, len(s.shards))
+}
+
 func (s *Store) shardFor(key string) *shard {
-	return s.shards[ShardIndex(key, len(s.shards))]
+	return s.shards[s.ShardOf(key)]
 }
 
 func (s *Store) stripeIdx(value string) int {
@@ -234,12 +242,18 @@ func (s *Store) Get(key string) (string, bool) {
 func (s *Store) Put(key, value string) (string, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	old, existed := s.putLocked(sh, key, value)
+	sh.mu.Unlock()
+	return old, existed
+}
+
+// putLocked is Put's body; the caller holds sh's write latch.
+func (s *Store) putLocked(sh *shard, key, value string) (string, bool) {
 	old, existed := sh.items[key]
 	sh.items[key] = value
 	if !existed || old != value {
 		s.reindex(key, old, existed, value, true)
 	}
-	sh.mu.Unlock()
 	return old, existed
 }
 
@@ -247,13 +261,66 @@ func (s *Store) Put(key, value string) (string, bool) {
 func (s *Store) Delete(key string) (string, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	old, existed := s.deleteLocked(sh, key)
+	sh.mu.Unlock()
+	return old, existed
+}
+
+// deleteLocked is Delete's body; the caller holds sh's write latch.
+func (s *Store) deleteLocked(sh *shard, key string) (string, bool) {
 	old, existed := sh.items[key]
 	if existed {
 		delete(sh.items, key)
 		s.reindex(key, old, true, "", false)
 	}
-	sh.mu.Unlock()
 	return old, existed
+}
+
+// Write is one buffered mutation for ApplyBatch: a put, or a delete
+// when Delete is set (Value is then ignored).
+type Write struct {
+	Key    string
+	Value  string
+	Delete bool
+}
+
+// ApplyBatch applies a set of writes grouped by shard, taking each
+// affected shard's write latch exactly once, in ascending shard order.
+// This is the commit hook for transaction layers that buffer their
+// write-set (e.g. internal/oltp): a transaction touching k records on
+// one shard pays one latch acquisition instead of k, and the fixed
+// shard order keeps concurrent batch commits deadlock-free against
+// each other and against single-key writers. Within one shard, writes
+// apply in slice order (later writes to the same key win). Like Scan,
+// a batch is not a point-in-time snapshot across shards; atomicity
+// across the batch is the caller's job (the oltp layer's logical
+// record locks provide it).
+func (s *Store) ApplyBatch(writes []Write) {
+	if len(writes) == 0 {
+		return
+	}
+	byShard := make(map[int][]Write)
+	order := make([]int, 0, 4)
+	for _, w := range writes {
+		idx := s.ShardOf(w.Key)
+		if _, seen := byShard[idx]; !seen {
+			order = append(order, idx)
+		}
+		byShard[idx] = append(byShard[idx], w)
+	}
+	sort.Ints(order)
+	for _, idx := range order {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for _, w := range byShard[idx] {
+			if w.Delete {
+				s.deleteLocked(sh, w.Key)
+			} else {
+				s.putLocked(sh, w.Key, w.Value)
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // reindex moves key from the old value's posting set to the new one.
@@ -299,8 +366,11 @@ func (s *Store) reindex(key, old string, hadOld bool, value string, hasNew bool)
 	}
 }
 
-// Lookup returns the keys currently holding value (secondary index),
-// sorted.
+// Lookup returns the keys currently holding value (secondary index).
+//
+// Ordering contract: the result is in ascending lexicographic
+// (byte-wise) key order, always — deterministic output is part of the
+// API, not a best-effort nicety, so callers (and tests) may rely on it.
 func (s *Store) Lookup(value string) []string {
 	st := s.stripes[s.stripeIdx(value)]
 	st.mu.RLock()
@@ -314,10 +384,14 @@ func (s *Store) Lookup(value string) []string {
 	return out
 }
 
-// Scan returns up to limit pairs whose key has the given prefix, in
-// key order (limit <= 0 means no limit). It latches one shard at a
-// time, so a scan is not a point-in-time snapshot across shards —
-// the same non-guarantee internal/storage's table scans make.
+// Scan returns up to limit pairs whose key has the given prefix
+// (limit <= 0 means no limit). It latches one shard at a time, so a
+// scan is not a point-in-time snapshot across shards — the same
+// non-guarantee internal/storage's table scans make.
+//
+// Ordering contract: the result is in ascending lexicographic
+// (byte-wise) key order, and with a limit it is the first `limit`
+// matches in that order — deterministic, callers may rely on it.
 func (s *Store) Scan(prefix string, limit int) []KV {
 	var out []KV
 	for _, sh := range s.shards {
@@ -333,6 +407,25 @@ func (s *Store) Scan(prefix string, limit int) []KV {
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
+	return out
+}
+
+// ScanShard returns every pair currently stored in shard idx, in
+// ascending lexicographic (byte-wise) key order, under one read latch
+// — a consistent point-in-time view of that single shard. This is the
+// partition-read hook for internal/oltp: a partition-level shared lock
+// plus ScanShard reads a whole partition without touching record
+// locks. Panics if idx is out of range (partition ids come from
+// ShardOf, which never produces one).
+func (s *Store) ScanShard(idx int) []KV {
+	sh := s.shards[idx]
+	sh.mu.RLock()
+	out := make([]KV, 0, len(sh.items))
+	for k, v := range sh.items {
+		out = append(out, KV{Key: k, Value: v})
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

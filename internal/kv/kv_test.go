@@ -3,6 +3,7 @@ package kv
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -160,6 +161,156 @@ func TestScan(t *testing.T) {
 	}
 	if got := s.Scan("zzz", 0); len(got) != 0 {
 		t.Fatalf("no-match scan = %v", got)
+	}
+}
+
+// TestOrderingContract pins the documented deterministic ordering of
+// Lookup and Scan: ascending lexicographic key order, and limited
+// scans return the first matches in that order. Keys are inserted in
+// shuffled order so map iteration or insertion order can't fake it.
+func TestOrderingContract(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	perm := rand.New(rand.NewSource(7)).Perm(64)
+	for _, i := range perm {
+		s.Put(fmt.Sprintf("user:%04d", i), fmt.Sprintf("tier-%d", i%3))
+	}
+	for run := 0; run < 3; run++ { // deterministic across calls, too
+		keys := s.Lookup("tier-0")
+		if len(keys) == 0 {
+			t.Fatal("Lookup returned nothing")
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("Lookup out of order: %v", keys)
+		}
+		all := s.Scan("user:", 0)
+		if len(all) != 64 {
+			t.Fatalf("scan matched %d", len(all))
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i-1].Key >= all[i].Key {
+				t.Fatalf("Scan out of order at %d: %q >= %q", i, all[i-1].Key, all[i].Key)
+			}
+		}
+		limited := s.Scan("user:", 5)
+		for i, p := range limited {
+			if want := fmt.Sprintf("user:%04d", i); p.Key != want {
+				t.Fatalf("limited scan[%d] = %q, want %q (first matches in order)", i, p.Key, want)
+			}
+		}
+	}
+}
+
+// TestShardOf: the instance-level partition map must agree with the
+// package routing function for this store's shard count.
+func TestShardOf(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if got, want := s.ShardOf(key), ShardIndex(key, 8); got != want {
+			t.Fatalf("ShardOf(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestScanShard: per-shard scans must be sorted, complete, and agree
+// with the routing map — together the shards partition the store.
+func TestScanShard(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	for i := 0; i < 200; i++ {
+		s.Put(fmt.Sprintf("k%03d", i), "v")
+	}
+	total := 0
+	for idx := 0; idx < s.Shards(); idx++ {
+		pairs := s.ScanShard(idx)
+		total += len(pairs)
+		for i, p := range pairs {
+			if s.ShardOf(p.Key) != idx {
+				t.Fatalf("shard %d returned foreign key %q (routes to %d)", idx, p.Key, s.ShardOf(p.Key))
+			}
+			if i > 0 && pairs[i-1].Key >= p.Key {
+				t.Fatalf("shard %d out of order: %q >= %q", idx, pairs[i-1].Key, p.Key)
+			}
+		}
+	}
+	if total != 200 {
+		t.Fatalf("shards sum to %d keys, want 200", total)
+	}
+}
+
+// TestApplyBatch: puts and deletes across shards apply atomically per
+// shard, keep the secondary index consistent, and later writes to the
+// same key win.
+func TestApplyBatch(t *testing.T) {
+	for _, mode := range []LockMode{LoadControlled, Spin, Std} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newTestStore(t, Options{Shards: 8, IndexStripes: 4, Mode: mode})
+			s.Put("stale", "red")
+			s.ApplyBatch(nil) // no-op
+			s.ApplyBatch([]Write{
+				{Key: "a", Value: "red"},
+				{Key: "b", Value: "blue"},
+				{Key: "c", Value: "red"},
+				{Key: "stale", Delete: true},
+				{Key: "a", Value: "blue"}, // same-key overwrite in one batch
+			})
+			if v, ok := s.Get("a"); !ok || v != "blue" {
+				t.Fatalf("a = %q,%v", v, ok)
+			}
+			if _, ok := s.Get("stale"); ok {
+				t.Fatal("batch delete did not remove key")
+			}
+			if got := s.Lookup("red"); len(got) != 1 || got[0] != "c" {
+				t.Fatalf("Lookup(red) = %v", got)
+			}
+			if got := s.Lookup("blue"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+				t.Fatalf("Lookup(blue) = %v", got)
+			}
+			if s.Len() != 3 {
+				t.Fatalf("len = %d", s.Len())
+			}
+		})
+	}
+}
+
+// TestApplyBatchConcurrent: concurrent batch commits and single-key
+// writers must not deadlock or corrupt the index (-race exercised).
+func TestApplyBatchConcurrent(t *testing.T) {
+	s := newTestStore(t, Options{Shards: 8, IndexStripes: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if rng.Intn(2) == 0 {
+					batch := make([]Write, 0, 4)
+					for j := 0; j < 4; j++ {
+						batch = append(batch, Write{
+							Key:    fmt.Sprintf("k%03d", rng.Intn(100)),
+							Value:  fmt.Sprintf("v%d", rng.Intn(8)),
+							Delete: rng.Intn(5) == 0,
+						})
+					}
+					s.ApplyBatch(batch)
+				} else {
+					s.Put(fmt.Sprintf("k%03d", rng.Intn(100)), fmt.Sprintf("v%d", rng.Intn(8)))
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Quiescent store/index agreement, as in TestConcurrentMixedOps.
+	for _, p := range s.Scan("", 0) {
+		found := false
+		for _, k := range s.Lookup(p.Value) {
+			if k == p.Key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %q (value %q) missing from index", p.Key, p.Value)
+		}
 	}
 }
 

@@ -1,0 +1,401 @@
+package oltp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+	"repro/internal/kv"
+)
+
+// Mode is a hierarchical lock mode. The zero value ModeNone means "no
+// lock held" and never appears in a lock's holder table.
+type Mode int
+
+const (
+	ModeNone Mode = iota
+	IS            // intention shared: S somewhere below
+	IX            // intention exclusive: X somewhere below
+	S             // shared: read this node and everything below
+	SIX           // S + IX: read everything below, write some of it
+	X             // exclusive: read/write this node and everything below
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compat is the standard hierarchical compatibility matrix (Gray's
+// granularity-of-locks matrix). compat[held][want] reports whether a
+// lock held in mode `held` by one transaction admits another
+// transaction in mode `want`. ModeNone rows/columns are all-true: no
+// hold constrains nothing.
+var compat = [6][6]bool{
+	ModeNone: {ModeNone: true, IS: true, IX: true, S: true, SIX: true, X: true},
+	IS:       {ModeNone: true, IS: true, IX: true, S: true, SIX: true},
+	IX:       {ModeNone: true, IS: true, IX: true},
+	S:        {ModeNone: true, IS: true, S: true},
+	SIX:      {ModeNone: true, IS: true},
+	X:        {ModeNone: true},
+}
+
+// lub is the least upper bound of two modes in the mode lattice —
+// the weakest single mode that grants both: a transaction re-locking
+// a resource holds lub(held, wanted). The interesting join is
+// lub(S, IX) = SIX; everything else follows the IS < {IX, S} < SIX < X
+// order.
+var lub = [6][6]Mode{
+	ModeNone: {ModeNone: ModeNone, IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IS:       {ModeNone: IS, IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IX:       {ModeNone: IX, IS: IX, IX: IX, S: SIX, SIX: SIX, X: X},
+	S:        {ModeNone: S, IS: S, IX: SIX, S: S, SIX: SIX, X: X},
+	SIX:      {ModeNone: SIX, IS: SIX, IX: SIX, S: SIX, SIX: SIX, X: X},
+	X:        {ModeNone: X, IS: X, IX: X, S: X, SIX: X, X: X},
+}
+
+// covers reports whether holding `held` already grants `want`.
+func covers(held, want Mode) bool { return lub[held][want] == held }
+
+// Level locates a resource in the hierarchy.
+type Level int
+
+const (
+	LevelTable Level = iota
+	LevelPartition
+	LevelRecord
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelTable:
+		return "table"
+	case LevelPartition:
+		return "partition"
+	case LevelRecord:
+		return "record"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ResourceID names one lockable node in the hierarchy. Partition is -1
+// at table level; Key is empty above record level. Record IDs carry
+// their partition so a lock dump reads hierarchically.
+type ResourceID struct {
+	Level     Level
+	Table     string
+	Partition int
+	Key       string
+}
+
+func (id ResourceID) String() string {
+	switch id.Level {
+	case LevelTable:
+		return fmt.Sprintf("table(%s)", id.Table)
+	case LevelPartition:
+		return fmt.Sprintf("partition(%s/%d)", id.Table, id.Partition)
+	default:
+		return fmt.Sprintf("record(%s/%d/%s)", id.Table, id.Partition, id.Key)
+	}
+}
+
+// TableID names a table node.
+func TableID(table string) ResourceID {
+	return ResourceID{Level: LevelTable, Table: table, Partition: -1}
+}
+
+// PartitionID names a partition node (partition ids are the kv store's
+// shard indexes).
+func PartitionID(table string, part int) ResourceID {
+	return ResourceID{Level: LevelPartition, Table: table, Partition: part}
+}
+
+// RecordID names a record node.
+func RecordID(table string, part int, key string) ResourceID {
+	return ResourceID{Level: LevelRecord, Table: table, Partition: part, Key: key}
+}
+
+// waiter is one blocked logical lock request. ready is closed exactly
+// once, by the grant path, after setting granted under the stripe
+// latch; the timeout path re-checks granted under the same latch, so
+// the two outcomes cannot race.
+type waiter struct {
+	txn     *Txn
+	mode    Mode // the full target mode (lub of held and wanted)
+	ready   chan struct{}
+	granted bool
+}
+
+// dbLock is one logical lock: the granted group plus a FIFO wait
+// queue. Guarded by its stripe's latch.
+type dbLock struct {
+	holders map[*Txn]Mode
+	waiters []*waiter
+}
+
+// lmStripe is one slice of the lock table. The latch is the physical
+// contention point the paper cares about: in LoadControlled mode it is
+// a golc.Mutex registered with the shared runtime, so lock-manager
+// latching is governed by the same controller as every data latch.
+type lmStripe struct {
+	latch golc.TryLocker
+	locks map[ResourceID]*dbLock
+}
+
+// lockManager is the DB's logical lock table.
+type lockManager struct {
+	stripes []*lmStripe
+	timeout time.Duration
+	m       *Metrics
+}
+
+func newLockManager(mode kv.LockMode, o Options, m *Metrics) *lockManager {
+	lm := &lockManager{timeout: o.WaitTimeout, m: m}
+	newLatch := func(i int) golc.TryLocker {
+		switch mode {
+		case kv.Spin:
+			return golc.NewSpinMutex()
+		case kv.Std:
+			return new(sync.Mutex)
+		default:
+			return golc.NewNamedMutex(latchRuntime(o), fmt.Sprintf("oltp/lm-%03d", i))
+		}
+	}
+	for i := 0; i < o.LockStripes; i++ {
+		lm.stripes = append(lm.stripes, &lmStripe{
+			latch: newLatch(i),
+			locks: make(map[ResourceID]*dbLock),
+		})
+	}
+	return lm
+}
+
+// latchRuntime resolves the runtime for LoadControlled stripes without
+// touching the process-wide Default when a private one was given.
+func latchRuntime(o Options) *lcrt.Runtime {
+	if o.Runtime != nil {
+		return o.Runtime
+	}
+	return lcrt.Default()
+}
+
+func (lm *lockManager) close() {
+	for _, st := range lm.stripes {
+		if mu, ok := st.latch.(*golc.Mutex); ok {
+			mu.Close()
+		}
+	}
+}
+
+// stripeFor routes a resource to its stripe (FNV-1a over the full id,
+// Fibonacci-spread like the kv shard map).
+func (lm *lockManager) stripeFor(id ResourceID) *lmStripe {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(id.Table)
+	h ^= uint64(id.Level)<<8 | uint64(uint32(id.Partition+1))
+	h *= 1099511628211
+	mix(id.Key)
+	return lm.stripes[(h*0x9e3779b97f4a7c15)%uint64(len(lm.stripes))]
+}
+
+// lock takes a stripe latch, counting physical contention: a TryLock
+// miss means another goroutine was in the lock table right now.
+func (lm *lockManager) lock(st *lmStripe) {
+	if st.latch.TryLock() {
+		return
+	}
+	lm.m.LatchMisses.Add(1)
+	st.latch.Lock()
+}
+
+// grantable reports whether txn may hold mode given the other current
+// holders (its own entry never conflicts with itself: upgrades pass).
+func grantable(l *dbLock, txn *Txn, mode Mode) bool {
+	for h, hm := range l.holders {
+		if h == txn {
+			continue
+		}
+		if !compat[hm][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+// conflictsQueue reports whether any queued waiter of another
+// transaction conflicts with mode. An immediate grant must not jump
+// such a waiter (FIFO fairness keeps writers from starving), and
+// wait-die must age-check against them (see acquire) — a waiter the
+// requester would queue behind is a wait edge exactly like a holder.
+func conflictsQueue(l *dbLock, txn *Txn, mode Mode) bool {
+	for _, w := range l.waiters {
+		if w.txn != txn && !compat[w.mode][mode] {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire takes (or upgrades to) mode on id for txn, blocking if
+// incompatible. It implements wait-die: if txn is younger (larger tid)
+// than any conflicting holder or queued conflicting waiter, it returns
+// an *AbortError immediately instead of waiting — so every wait edge
+// points old→young and no cycle can ever form. Returns nil once the
+// lock is held; txn.held is updated on success.
+func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
+	st := lm.stripeFor(id)
+	lm.lock(st)
+	l := st.locks[id]
+	if l == nil {
+		l = &dbLock{holders: make(map[*Txn]Mode, 2)}
+		st.locks[id] = l
+	}
+	cur := l.holders[txn]
+	goal := lub[cur][want]
+	if cur != ModeNone && covers(cur, want) {
+		st.latch.Unlock()
+		return nil
+	}
+	if grantable(l, txn, goal) && !conflictsQueue(l, txn, goal) {
+		l.holders[txn] = goal
+		st.latch.Unlock()
+		txn.noteHeld(id, goal)
+		return nil
+	}
+	// Conflict. Wait-die: die if younger than anyone we would wait on.
+	die := false
+	for h, hm := range l.holders {
+		if h != txn && !compat[hm][goal] && txn.tid > h.tid {
+			die = true
+			break
+		}
+	}
+	if !die {
+		for _, w := range l.waiters {
+			if w.txn != txn && !compat[w.mode][goal] && txn.tid > w.txn.tid {
+				die = true
+				break
+			}
+		}
+	}
+	if die {
+		lm.maybeFree(st, id, l)
+		st.latch.Unlock()
+		lm.m.WaitDieAborts.Add(1)
+		return &AbortError{Reason: AbortWaitDie, Resource: id}
+	}
+	// Older than every conflicting party: safe to wait. The holders
+	// entry (for an upgrade) keeps its current mode while we wait — we
+	// still hold that.
+	w := &waiter{txn: txn, mode: goal, ready: make(chan struct{})}
+	l.waiters = append(l.waiters, w)
+	st.latch.Unlock()
+	lm.m.LockWaits.Add(1)
+
+	timer := time.NewTimer(lm.timeout)
+	select {
+	case <-w.ready:
+		timer.Stop()
+		txn.noteHeld(id, goal)
+		return nil
+	case <-timer.C:
+	}
+	// Timed out — but a grant may have raced the timer. granted is
+	// only ever set under the stripe latch, so re-check there.
+	lm.lock(st)
+	if w.granted {
+		st.latch.Unlock()
+		txn.noteHeld(id, goal)
+		return nil
+	}
+	for i, q := range l.waiters {
+		if q == w {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			break
+		}
+	}
+	// Our departure can unblock the queue: a waiter behind us may have
+	// been gated only by our (conflicting) request, exactly as when a
+	// holder leaves in releaseAll.
+	grant(l)
+	lm.maybeFree(st, id, l)
+	st.latch.Unlock()
+	lm.m.TimeoutAborts.Add(1)
+	return &AbortError{Reason: AbortTimeout, Resource: id}
+}
+
+// grant hands the lock to the longest-waiting compatible prefix of the
+// queue. Called with the stripe latch held after any holder change.
+func grant(l *dbLock) {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if !grantable(l, w.txn, w.mode) {
+			return
+		}
+		l.waiters = l.waiters[1:]
+		l.holders[w.txn] = w.mode
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// maybeFree retires an empty lock-table entry. Caller holds the latch.
+func (lm *lockManager) maybeFree(st *lmStripe, id ResourceID, l *dbLock) {
+	if len(l.holders) == 0 && len(l.waiters) == 0 {
+		delete(st.locks, id)
+	}
+}
+
+// releaseAll drops every lock txn holds (strict 2PL: called only from
+// Commit and Abort), waking newly grantable waiters as it goes.
+func (lm *lockManager) releaseAll(txn *Txn) {
+	for id := range txn.held {
+		st := lm.stripeFor(id)
+		lm.lock(st)
+		if l := st.locks[id]; l != nil {
+			if _, held := l.holders[txn]; held {
+				delete(l.holders, txn)
+				grant(l)
+			}
+			lm.maybeFree(st, id, l)
+		}
+		st.latch.Unlock()
+	}
+	clear(txn.held)
+}
+
+// entries counts live lock-table entries across all stripes (test and
+// stats hook: a quiescent DB must report zero — locks are strict-2PL,
+// so anything left over is a leak).
+func (lm *lockManager) entries() int {
+	n := 0
+	for _, st := range lm.stripes {
+		lm.lock(st)
+		n += len(st.locks)
+		st.latch.Unlock()
+	}
+	return n
+}

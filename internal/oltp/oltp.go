@@ -1,0 +1,246 @@
+// Package oltp is a real-time transactional layer over internal/kv:
+// a hierarchical two-phase lock manager plus strict-2PL transactions,
+// running on the same process-wide load-control runtime as every other
+// latch in the process.
+//
+// This is the paper's richest workload class made real. Its Shore-MT
+// experiments show load control rescuing database lock-manager convoys
+// at high multiprogramming — the regime where a thread holds several
+// locks at once, gets descheduled, and every spinning waiter burns a
+// kernel quantum. The simulator models this (internal/storage); this
+// package runs it on actual hardware:
+//
+//   - Logical locks form a hierarchy — table → partition → record —
+//     with the standard intention modes (IS, IX, S, SIX, X) and
+//     compatibility matrix. Partitions are the kv store's shards
+//     (kv.Store.ShardOf), so a hot partition in the transaction layer
+//     is exactly a hot shard latch in the store.
+//   - The lock table itself is guarded by striped latches that are
+//     golc primitives registered with the shared load-control runtime
+//     (in LoadControlled mode), so lock-manager latching — one of the
+//     big physical contention sources inside database engines — is
+//     governed by the same controller as the data-path latches.
+//   - Logical waits block on a per-waiter channel, never on a latch:
+//     transactions hold locks for far too long for spinning to make
+//     sense, and a blocked transaction must not wedge the lock table.
+//     No goroutine ever parks while holding a latch (the paper's
+//     never-block-a-lock-holder rule, end to end).
+//   - Deadlock avoidance is wait-die on transaction begin-timestamps:
+//     a requester younger than any conflicting holder or queued
+//     conflicting waiter aborts immediately (counted in Metrics);
+//     older requesters wait. Every wait edge therefore points from an
+//     older to a younger transaction, so cycles cannot form. A
+//     bounded-wait timeout remains as a backstop tripwire, not a
+//     policy. DB.Run retries aborted transactions under their
+//     original timestamp, which is what makes wait-die live: a
+//     transaction only ever gets older, so it eventually wins.
+//   - Transactions buffer writes (reads see their own writes) and
+//     apply them at commit through kv.Store.ApplyBatch — one shard
+//     latch acquisition per touched shard — then release every lock
+//     (strict 2PL: nothing is released early, so reads are repeatable
+//     and writes are never exposed before commit).
+//
+// The TATP-style workload in tatp.go drives the whole stack; cmd/
+// lcbench -oltp sweeps it across spin, block, and load-control latch
+// modes as multiprogramming rises past the CPU count.
+package oltp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	lcrt "repro/internal/golc/runtime"
+	"repro/internal/kv"
+)
+
+// ErrAborted matches any transaction abort via errors.Is; the concrete
+// error is always an *AbortError carrying the reason.
+var ErrAborted = errors.New("oltp: transaction aborted")
+
+// ErrTxnDone is returned by operations on a committed or aborted Txn.
+var ErrTxnDone = errors.New("oltp: transaction already finished")
+
+// AbortReason says why a transaction was told to abort.
+type AbortReason int
+
+const (
+	// AbortWaitDie: the requester was younger than a conflicting
+	// holder or queued waiter (the deadlock-avoidance policy).
+	AbortWaitDie AbortReason = iota
+	// AbortTimeout: a lock wait exceeded Options.WaitTimeout (the
+	// backstop; under wait-die this indicates overload, not deadlock).
+	AbortTimeout
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortWaitDie:
+		return "wait-die"
+	case AbortTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", int(r))
+	}
+}
+
+// AbortError reports a lock-manager-initiated abort. The transaction
+// must be Aborted (releasing everything it holds) and may be retried;
+// DB.Run does both.
+type AbortError struct {
+	Reason   AbortReason
+	Resource ResourceID
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("oltp: transaction aborted (%s) at %s", e.Reason, e.Resource)
+}
+
+// Is makes errors.Is(err, ErrAborted) true for every abort.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
+
+// Options configures a DB. The lock-table stripe latches always use
+// the store's own latch mode (kv.Store.Mode), so data-path and
+// lock-manager latches are governed alike — the comparison the
+// benchmarks make.
+type Options struct {
+	// Runtime is the load-control runtime the stripe latches register
+	// with when the store is LoadControlled (default: the process-wide
+	// runtime).
+	Runtime *lcrt.Runtime
+	// LockStripes is the number of lock-table stripes (default 32).
+	LockStripes int
+	// WaitTimeout bounds one logical lock wait (default 2s). Wait-die
+	// prevents deadlock, so this firing means overload or a bug; it
+	// is counted separately in Metrics.
+	WaitTimeout time.Duration
+	// MaxRetries bounds DB.Run's abort-and-retry loop (default 100;
+	// <0 means unlimited).
+	MaxRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LockStripes <= 0 {
+		o.LockStripes = 32
+	}
+	if o.WaitTimeout == 0 {
+		o.WaitTimeout = 2 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 100
+	}
+	return o
+}
+
+// Metrics is the DB's counter set. All fields are atomics; read them
+// through Snapshot.
+type Metrics struct {
+	Begins        atomic.Uint64
+	Commits       atomic.Uint64
+	Aborts        atomic.Uint64
+	Retries       atomic.Uint64
+	WaitDieAborts atomic.Uint64
+	TimeoutAborts atomic.Uint64
+	LockWaits     atomic.Uint64 // logical lock requests that blocked
+	LatchMisses   atomic.Uint64 // lock-table latch TryLock misses (physical contention)
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics, JSON-friendly.
+type MetricsSnapshot struct {
+	Begins        uint64 `json:"begins"`
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	Retries       uint64 `json:"retries"`
+	WaitDieAborts uint64 `json:"wait_die_aborts"`
+	TimeoutAborts uint64 `json:"timeout_aborts"`
+	LockWaits     uint64 `json:"lock_waits"`
+	LatchMisses   uint64 `json:"latch_misses"`
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Begins:        m.Begins.Load(),
+		Commits:       m.Commits.Load(),
+		Aborts:        m.Aborts.Load(),
+		Retries:       m.Retries.Load(),
+		WaitDieAborts: m.WaitDieAborts.Load(),
+		TimeoutAborts: m.TimeoutAborts.Load(),
+		LockWaits:     m.LockWaits.Load(),
+		LatchMisses:   m.LatchMisses.Load(),
+	}
+}
+
+// DB is the transactional layer over one kv.Store. Create with New.
+type DB struct {
+	store *kv.Store
+	lm    *lockManager
+	opts  Options
+	tids  atomic.Uint64
+	m     Metrics
+}
+
+// New builds a DB over store. The store is not owned: the caller keeps
+// serving non-transactional traffic through it if it wants (single-key
+// kv operations are trivially atomic; they bypass logical locking, so
+// mixing them with transactions on the same keys forfeits isolation
+// for those keys only).
+func New(store *kv.Store, opts Options) *DB {
+	o := opts.withDefaults()
+	db := &DB{store: store, opts: o}
+	db.lm = newLockManager(store.Mode(), o, &db.m)
+	return db
+}
+
+// Store returns the underlying kv store.
+func (db *DB) Store() *kv.Store { return db.store }
+
+// Metrics returns a point-in-time copy of the DB's counters.
+func (db *DB) Metrics() MetricsSnapshot { return db.m.snapshot() }
+
+// Close releases the lock manager's latch registrations (a no-op in
+// Spin and Std modes; LoadControlled registrations are also GC-aware,
+// so Close is about promptness). The DB stays usable.
+func (db *DB) Close() { db.lm.close() }
+
+// Begin starts a transaction with a fresh begin-timestamp. Prefer Run,
+// which also handles abort-and-retry.
+func (db *DB) Begin() *Txn { return db.begin(db.tids.Add(1)) }
+
+func (db *DB) begin(tid uint64) *Txn {
+	db.m.Begins.Add(1)
+	return &Txn{
+		db:     db,
+		tid:    tid,
+		held:   make(map[ResourceID]Mode),
+		writes: make(map[string]kv.Write),
+	}
+}
+
+// Run executes fn in a transaction, committing on nil return. Aborted
+// transactions (wait-die, timeout) are retried under their ORIGINAL
+// begin-timestamp — the retried transaction only ever gets relatively
+// older, which is what guarantees it eventually wins every wait-die
+// conflict. Any other error rolls back and is returned as-is.
+func (db *DB) Run(fn func(*Txn) error) error {
+	tid := db.tids.Add(1)
+	for attempt := 0; ; attempt++ {
+		t := db.begin(tid)
+		err := fn(t)
+		if err == nil {
+			return t.Commit()
+		}
+		t.Abort()
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if db.opts.MaxRetries >= 0 && attempt+1 >= db.opts.MaxRetries {
+			return fmt.Errorf("oltp: giving up after %d attempts: %w", attempt+1, err)
+		}
+		db.m.Retries.Add(1)
+		// Capped exponential backoff: give the older transaction that
+		// killed us time to finish before we re-collide with it.
+		backoff := 20 * time.Microsecond << min(attempt, 6)
+		time.Sleep(backoff)
+	}
+}

@@ -1,0 +1,241 @@
+package oltp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kv"
+)
+
+// txnState tracks a transaction's lifecycle. A Txn is driven by one
+// goroutine (the usual database-session contract), so state needs no
+// atomicity; the lock manager's shared structures are latch-guarded.
+type txnState int
+
+const (
+	txnActive txnState = iota
+	txnCommitted
+	txnAborted
+)
+
+// Txn is one transaction: strict two-phase locking over the DB's
+// hierarchical lock manager, with a buffered write-set applied at
+// commit. Use DB.Run for automatic abort-and-retry; Begin/Commit/Abort
+// are the manual API.
+type Txn struct {
+	db     *DB
+	tid    uint64 // begin-timestamp: smaller = older, wins wait-die
+	state  txnState
+	held   map[ResourceID]Mode
+	writes map[string]kv.Write // keyed by storage key; last write wins
+}
+
+// TID returns the transaction's begin-timestamp (stable across Run's
+// retries — that is what makes wait-die live).
+func (t *Txn) TID() uint64 { return t.tid }
+
+// storageKey flattens (table, key) into the kv keyspace. Tables are
+// namespaces by prefix; partition ids come from the store's shard map,
+// so "hot partition" means "hot shard latch".
+func storageKey(table, key string) string { return table + "/" + key }
+
+func (t *Txn) active() error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+// noteHeld records a granted (or upgraded) lock. Called by the lock
+// manager on the transaction's own goroutine.
+func (t *Txn) noteHeld(id ResourceID, m Mode) { t.held[id] = m }
+
+// heldMode reports the mode t currently holds on id (ModeNone if none).
+func (t *Txn) heldMode(id ResourceID) Mode { return t.held[id] }
+
+// lockRecord climbs the hierarchy for one record access: intention
+// modes on table and partition, then the leaf mode on the record. A
+// coarse hold (S/SIX/X at an ancestor, per covering) short-circuits
+// the descent — that is the point of hierarchical locking.
+func (t *Txn) lockRecord(table string, part int, key string, write bool) error {
+	tblMode, leafIntent, leaf := IS, IS, S
+	if write {
+		tblMode, leafIntent, leaf = IX, IX, X
+	}
+	tm := t.heldMode(TableID(table))
+	if coarseCovers(tm, write) {
+		return nil
+	}
+	if !covers(tm, tblMode) {
+		if err := t.db.lm.acquire(t, TableID(table), tblMode); err != nil {
+			return err
+		}
+	}
+	pid := PartitionID(table, part)
+	pm := t.heldMode(pid)
+	if coarseCovers(pm, write) {
+		return nil
+	}
+	if !covers(pm, leafIntent) {
+		if err := t.db.lm.acquire(t, pid, leafIntent); err != nil {
+			return err
+		}
+	}
+	rid := RecordID(table, part, key)
+	if covers(t.heldMode(rid), leaf) {
+		return nil
+	}
+	return t.db.lm.acquire(t, rid, leaf)
+}
+
+// coarseCovers reports whether a hold at an ancestor level already
+// grants the whole subtree for this access: S, SIX and X cover reads;
+// only X covers writes (SIX still needs record-level X below).
+func coarseCovers(m Mode, write bool) bool {
+	if write {
+		return m == X
+	}
+	return m == S || m == SIX || m == X
+}
+
+// Read returns the committed value for (table, key) — or this
+// transaction's own buffered write. Locks: IS table → IS partition →
+// S record (strict 2PL, so reads are repeatable).
+func (t *Txn) Read(table, key string) (string, bool, error) {
+	if err := t.active(); err != nil {
+		return "", false, err
+	}
+	sk := storageKey(table, key)
+	if w, ok := t.writes[sk]; ok {
+		if w.Delete {
+			return "", false, nil
+		}
+		return w.Value, true, nil
+	}
+	if err := t.lockRecord(table, t.db.store.ShardOf(sk), key, false); err != nil {
+		return "", false, err
+	}
+	v, ok := t.db.store.Get(sk)
+	return v, ok, nil
+}
+
+// Write buffers a put of (table, key) = value. Locks: IX table → IX
+// partition → X record, taken now (growing phase); the store is only
+// touched at Commit.
+func (t *Txn) Write(table, key, value string) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	sk := storageKey(table, key)
+	if err := t.lockRecord(table, t.db.store.ShardOf(sk), key, true); err != nil {
+		return err
+	}
+	t.writes[sk] = kv.Write{Key: sk, Value: value}
+	return nil
+}
+
+// Delete buffers a delete of (table, key). Same locking as Write.
+func (t *Txn) Delete(table, key string) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	sk := storageKey(table, key)
+	if err := t.lockRecord(table, t.db.store.ShardOf(sk), key, true); err != nil {
+		return err
+	}
+	t.writes[sk] = kv.Write{Key: sk, Delete: true}
+	return nil
+}
+
+// ReadPartition reads every record of table in partition part under
+// one partition-level S lock — no record locks at all, which is what
+// the intention-lock hierarchy buys: the S hold at the partition
+// conflicts with any writer's IX there, and nothing finer is needed.
+// The result is in ascending key order (kv's ordering contract) with
+// the transaction's own buffered writes overlaid.
+func (t *Txn) ReadPartition(table string, part int) ([]kv.KV, error) {
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	if part < 0 || part >= t.db.store.Shards() {
+		// Validate before taking any lock: panicking inside ScanShard
+		// with partition locks held would wedge every conflicting txn.
+		return nil, fmt.Errorf("oltp: partition %d out of range [0,%d)", part, t.db.store.Shards())
+	}
+	tm := t.heldMode(TableID(table))
+	if !coarseCovers(tm, false) {
+		if !covers(tm, IS) {
+			if err := t.db.lm.acquire(t, TableID(table), IS); err != nil {
+				return nil, err
+			}
+		}
+		pid := PartitionID(table, part)
+		if !covers(t.heldMode(pid), S) {
+			if err := t.db.lm.acquire(t, pid, S); err != nil {
+				return nil, err
+			}
+		}
+	}
+	prefix := table + "/"
+	var out []kv.KV
+	for _, p := range t.db.store.ScanShard(part) {
+		if !strings.HasPrefix(p.Key, prefix) {
+			continue
+		}
+		if w, buffered := t.writes[p.Key]; buffered {
+			if w.Delete {
+				continue
+			}
+			p.Value = w.Value
+		}
+		out = append(out, kv.KV{Key: strings.TrimPrefix(p.Key, prefix), Value: p.Value})
+	}
+	// Overlay buffered inserts for this (table, partition) that the
+	// store scan could not see yet.
+	for sk, w := range t.writes {
+		if w.Delete || !strings.HasPrefix(sk, prefix) || t.db.store.ShardOf(sk) != part {
+			continue
+		}
+		if _, exists := t.db.store.Get(sk); exists {
+			continue // already overlaid in place
+		}
+		out = append(out, kv.KV{Key: strings.TrimPrefix(sk, prefix), Value: w.Value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Commit applies the buffered write-set (one shard latch per touched
+// shard, via kv.Store.ApplyBatch) and releases every lock. Strict 2PL:
+// locks are held until after the writes land, so no other transaction
+// can observe a partial commit.
+func (t *Txn) Commit() error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if len(t.writes) > 0 {
+		batch := make([]kv.Write, 0, len(t.writes))
+		for _, w := range t.writes {
+			batch = append(batch, w)
+		}
+		t.db.store.ApplyBatch(batch)
+	}
+	t.db.lm.releaseAll(t)
+	t.state = txnCommitted
+	t.db.m.Commits.Add(1)
+	return nil
+}
+
+// Abort discards the write-set and releases every lock. Safe to call
+// on an already-finished transaction (no-op), so defer t.Abort() is
+// the idiomatic cleanup.
+func (t *Txn) Abort() {
+	if t.state != txnActive {
+		return
+	}
+	clear(t.writes)
+	t.db.lm.releaseAll(t)
+	t.state = txnAborted
+	t.db.m.Aborts.Add(1)
+}
