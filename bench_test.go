@@ -472,6 +472,62 @@ func BenchmarkOLTPTATPLoadControl(b *testing.B) { benchOLTPTATP(b, kv.LoadContro
 func BenchmarkOLTPTATPSpin(b *testing.B)        { benchOLTPTATP(b, kv.Spin) }
 func BenchmarkOLTPTATPStd(b *testing.B)         { benchOLTPTATP(b, kv.Std) }
 
+// benchOLTPConflict runs the multi-statement conflict mix (internal/
+// oltp: overlapping read-modify-write record sets in random order —
+// the deadlock-prone shape) under one deadlock policy at
+// oversubscription. Each iteration is one committed transaction
+// including its retries; aborts/op and escalations/op report how much
+// conflict-resolution work the policy did. Keeping both policy
+// benchmarks in the tree means CI's -benchtime 1x smoke compiles and
+// runs both code paths on every push.
+func benchOLTPConflict(b *testing.B, policyName string) {
+	prev := runtime.GOMAXPROCS(8 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	pol, err := oltp.NewPolicy(policyName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := kv.New(kv.Options{Shards: 16, IndexStripes: 8, Mode: kv.Std})
+	b.Cleanup(store.Close)
+	// Threshold below RecordsPerTxn/partition so the escalation path
+	// runs too — otherwise escalations/op is a constant 0 and CI's
+	// -benchtime 1x smoke never exercises the fold-in under -bench.
+	db := oltp.New(store, oltp.Options{MaxRetries: -1, DeadlockPolicy: pol, EscalationThreshold: 8})
+	b.Cleanup(db.Close)
+	w := oltp.NewConflict(db, oltp.ConflictConfig{
+		Partitions:       4,
+		RecordsPerTxn:    16,
+		SpreadPartitions: 1,
+		OverlapFrac:      0.5,
+		WriteFrac:        0.5,
+	})
+	var seed atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1) * 104729))
+		for pb.Next() {
+			if err := w.Run(rng); err != nil {
+				b.Errorf("conflict txn failed terminally: %v", err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	m := db.Metrics()
+	if m.Commits == 0 {
+		b.Fatal("no transactions committed")
+	}
+	if n := db.LockEntries(); n != 0 {
+		b.Fatalf("quiescent lock table has %d entries", n)
+	}
+	b.ReportMetric(float64(m.Aborts)/float64(b.N), "aborts/op")
+	b.ReportMetric(float64(m.Escalations)/float64(b.N), "escalations/op")
+}
+
+func BenchmarkOLTPConflictWaitDie(b *testing.B) { benchOLTPConflict(b, "waitdie") }
+func BenchmarkOLTPConflictDetect(b *testing.B)  { benchOLTPConflict(b, "detect") }
+
 // BenchmarkKVScan measures prefix scans (one shard latch at a time).
 func BenchmarkKVScan(b *testing.B) {
 	s, _, _ := benchKVStore(b, kv.LoadControlled)

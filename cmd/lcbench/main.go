@@ -17,16 +17,25 @@
 // (the paper's original timeout-only design) the cold lock sits free
 // until the 100ms safety timeout.
 //
-// The -oltp flag runs the TATP-style transactional workload from
-// internal/oltp instead: a hierarchical lock manager and strict-2PL
-// transactions over the kv store, swept across spin, block
-// (sync.RWMutex) and load-control latch modes at a multiprogramming
-// level of -mp x NumCPU (default 8x — the paper's overload regime),
-// reporting commit/abort throughput and p50/p99 commit latency per
-// mode. This is the paper's Shore-MT experiment shape on real
-// hardware: transactions hold several logical locks at once while
-// every physical latch under them is governed (or not) by the load
-// controller.
+// The -oltp flag runs a transactional workload from internal/oltp
+// instead: a hierarchical lock manager and strict-2PL transactions
+// over the kv store, swept across spin, block (sync.RWMutex) and
+// load-control latch modes at a multiprogramming level of -mp x
+// NumCPU (default 8x — the paper's overload regime), reporting
+// commit/abort throughput and p50/p99 commit latency per mode. This is
+// the paper's Shore-MT experiment shape on real hardware: transactions
+// hold several logical locks at once while every physical latch under
+// them is governed (or not) by the load controller.
+//
+// Two -oltp workloads: -workload tatp (default) is the TATP-style
+// read-heavy mix; -workload conflict is the multi-statement conflict
+// shape — each transaction read-modify-writes -records records across
+// -parts partitions with -overlap of the touches on a shared hot set,
+// in random order. The conflict shape is where the deadlock policies
+// (-policy waitdie|detect) and record→partition lock escalation
+// (-escalate N, -1 to disable) actually diverge; the tool reports the
+// abort split (wait-die vs detected vs timeout), escalations, and the
+// live lock-table entry census alongside throughput.
 //
 // Usage:
 //
@@ -35,6 +44,8 @@
 //	lcbench -adversarial -nowake   # ablation: timeout-only wakes
 //	lcbench -oltp                  # TATP mix, spin vs block vs load-control
 //	lcbench -oltp -mp 16 -subs 8192 -hot 0.8
+//	lcbench -oltp -workload conflict -policy detect
+//	lcbench -oltp -workload conflict -records 96 -parts 1 -escalate -1
 package main
 
 import (
@@ -65,10 +76,18 @@ func main() {
 		perLock     = flag.Bool("perlock", false, "old design: one private runtime per lock instead of one shared")
 		adversarial = flag.Bool("adversarial", false, "run the hot-lock/cold-lock unlock-wake scenario instead")
 		noWake      = flag.Bool("nowake", false, "with -adversarial: disable the unlock-side wake (timeout-only baseline)")
-		oltpMode    = flag.Bool("oltp", false, "run the TATP-style transactional workload (spin vs block vs load-control) instead")
+		oltpMode    = flag.Bool("oltp", false, "run a transactional workload (spin vs block vs load-control) instead")
 		mp          = flag.Int("mp", 8, "with -oltp: multiprogramming level as a multiple of NumCPU (GOMAXPROCS = mp x NumCPU)")
 		subs        = flag.Int("subs", 4096, "with -oltp: TATP subscriber population")
 		hot         = flag.Float64("hot", 0.6, "with -oltp: fraction of transactions aimed at the hot subscriber set")
+		workload    = flag.String("workload", "tatp", "with -oltp: workload shape, tatp or conflict")
+		policy      = flag.String("policy", "waitdie", "with -oltp: deadlock policy, waitdie or detect")
+		escalate    = flag.Int("escalate", 0, "with -oltp: record->partition escalation threshold (0: default 64; <0: disabled)")
+		records     = flag.Int("records", 16, "with -workload conflict: records touched per transaction")
+		parts       = flag.Int("parts", 4, "with -workload conflict: partitions the key population spans")
+		spread      = flag.Int("spread", 0, "with -workload conflict: partitions ONE transaction's records span (0: all of -parts; 1 concentrates each transaction — the escalation shape)")
+		overlap     = flag.Float64("overlap", 0.5, "with -workload conflict: fraction of touches on the shared hot set")
+		writeFrac   = flag.Float64("writefrac", 0.5, "with -workload conflict: fraction of touches that read-modify-write")
 	)
 	flag.Parse()
 	if *oltpMode {
@@ -78,7 +97,29 @@ func main() {
 				workers = *n
 			}
 		})
-		runOLTP(workers, *mp, *subs, *hot, *duration)
+		if *workload != "tatp" && *workload != "conflict" {
+			fmt.Fprintf(os.Stderr, "lcbench: unknown -workload %q (want tatp or conflict)\n", *workload)
+			os.Exit(2)
+		}
+		if _, err := oltp.NewPolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runOLTP(oltpConfig{
+			workload:  *workload,
+			policy:    *policy,
+			escalate:  *escalate,
+			workers:   workers,
+			mp:        *mp,
+			subs:      *subs,
+			hot:       *hot,
+			records:   *records,
+			parts:     *parts,
+			spread:    *spread,
+			overlap:   *overlap,
+			writeFrac: *writeFrac,
+			duration:  *duration,
+		})
 		return
 	}
 	if *adversarial {
@@ -294,44 +335,70 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 		snap.Claims, snap.ControllerWakes, snap.UnlockWakes, snap.TimeoutWakes, snap.Cancels, snap.SlotRejects)
 }
 
-// oltpResult is one OLTP phase's outcome.
-type oltpResult struct {
-	mode     kv.LockMode
-	label    string
-	rate     float64 // commits/s
-	abortsPS float64
-	p50, p99 time.Duration
-	metrics  oltp.MetricsSnapshot
-	snap     *lcrt.Snapshot
+// oltpConfig carries the -oltp sweep's knobs.
+type oltpConfig struct {
+	workload  string // tatp | conflict
+	policy    string // waitdie | detect
+	escalate  int    // escalation threshold (0 default, <0 off)
+	workers   int
+	mp        int
+	subs      int
+	hot       float64
+	records   int
+	parts     int
+	spread    int
+	overlap   float64
+	writeFrac float64
+	duration  time.Duration
 }
 
-// runOLTP sweeps the TATP-style mix across the three latch modes at
-// high multiprogramming. Per phase: a fresh store + DB + TATP
+// oltpResult is one OLTP phase's outcome.
+type oltpResult struct {
+	mode       kv.LockMode
+	label      string
+	rate       float64 // commits/s
+	abortsPS   float64
+	p50, p99   time.Duration
+	entriesMax int     // peak live lock-table entries sampled mid-run
+	entriesAvg float64 // mean of the samples
+	metrics    oltp.MetricsSnapshot
+	snap       *lcrt.Snapshot
+}
+
+// runOLTP sweeps one transactional workload across the three latch
+// modes at high multiprogramming. Per phase: a fresh store + DB +
 // population, `workers` goroutines each running the mix, commit
 // latency sampled per successful transaction (including its retries —
-// the user-visible latency).
-func runOLTP(workers, mp, subscribers int, hotFrac float64, duration time.Duration) {
-	if mp > 0 {
-		runtime.GOMAXPROCS(mp * runtime.NumCPU())
+// the user-visible latency), plus a live lock-table census.
+func runOLTP(cfg oltpConfig) {
+	if cfg.mp > 0 {
+		runtime.GOMAXPROCS(cfg.mp * runtime.NumCPU())
 	}
-	if workers <= 0 {
-		workers = 4 * runtime.GOMAXPROCS(0)
+	if cfg.workers <= 0 {
+		cfg.workers = 4 * runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("oltp: TATP-style mix, %d workers, GOMAXPROCS=%d on %d CPU(s) (%dx multiprogramming), "+
-		"%d subscribers, hot-frac %.2f, %v per phase\n\n",
-		workers, runtime.GOMAXPROCS(0), runtime.NumCPU(),
-		runtime.GOMAXPROCS(0)/runtime.NumCPU(), subscribers, hotFrac, duration)
+	shape := fmt.Sprintf("%d subscribers, hot-frac %.2f", cfg.subs, cfg.hot)
+	if cfg.workload == "conflict" {
+		shape = fmt.Sprintf("%d records/txn over %d partition(s), overlap %.2f, write-frac %.2f",
+			cfg.records, cfg.parts, cfg.overlap, cfg.writeFrac)
+	}
+	fmt.Printf("oltp: %s workload, policy=%s escalation=%s, %d workers, GOMAXPROCS=%d on %d CPU(s) "+
+		"(%dx multiprogramming), %s, %v per phase\n\n",
+		cfg.workload, cfg.policy, escalationLabel(cfg.escalate), cfg.workers,
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.GOMAXPROCS(0)/runtime.NumCPU(),
+		shape, cfg.duration)
 
 	results := []oltpResult{
-		runOLTPPhase(kv.Spin, "spin", workers, subscribers, hotFrac, duration),
-		runOLTPPhase(kv.Std, "block", workers, subscribers, hotFrac, duration),
-		runOLTPPhase(kv.LoadControlled, "load-control", workers, subscribers, hotFrac, duration),
+		runOLTPPhase(kv.Spin, "spin", cfg),
+		runOLTPPhase(kv.Std, "block", cfg),
+		runOLTPPhase(kv.LoadControlled, "load-control", cfg),
 	}
 
 	fmt.Println("\nsummary:")
-	fmt.Printf("  %-14s %14s %12s %12s %12s\n", "mode", "commit/s", "abort/s", "p50", "p99")
+	fmt.Printf("  %-14s %14s %12s %12s %12s %12s\n", "mode", "commit/s", "abort/s", "p50", "p99", "peak-locks")
 	for _, r := range results {
-		fmt.Printf("  %-14s %14.0f %12.1f %12v %12v\n", r.label, r.rate, r.abortsPS, r.p50, r.p99)
+		fmt.Printf("  %-14s %14.0f %12.1f %12v %12v %12d\n",
+			r.label, r.rate, r.abortsPS, r.p50, r.p99, r.entriesMax)
 	}
 	spin, lc := results[0], results[2]
 	if spin.rate > 0 {
@@ -352,11 +419,30 @@ func runOLTP(workers, mp, subscribers int, hotFrac float64, duration time.Durati
 	}
 }
 
+func escalationLabel(th int) string {
+	switch {
+	case th < 0:
+		return "off"
+	case th == 0:
+		return fmt.Sprintf("%d", oltp.DefaultEscalationThreshold)
+	default:
+		return fmt.Sprintf("%d", th)
+	}
+}
+
 // runOLTPPhase measures one latch mode end to end.
-func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotFrac float64, duration time.Duration) oltpResult {
+func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
 	var rt *lcrt.Runtime
 	kvOpts := kv.Options{Shards: 16, IndexStripes: 8, Mode: mode}
-	dbOpts := oltp.Options{MaxRetries: -1}
+	pol, err := oltp.NewPolicy(cfg.policy) // fresh instance per DB: the detector's graph is per-DB state
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// MaxRetries < 0 = unlimited: every transaction eventually commits
+	// under its original timestamp, so throughput compares policies,
+	// not give-up thresholds.
+	dbOpts := oltp.Options{MaxRetries: -1, DeadlockPolicy: pol, EscalationThreshold: cfg.escalate}
 	if mode == kv.LoadControlled {
 		rt = lcrt.New(lcrt.Options{})
 		rt.Start()
@@ -365,14 +451,37 @@ func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotF
 	}
 	store := kv.New(kvOpts)
 	db := oltp.New(store, dbOpts)
-	w := oltp.NewTATP(db, oltp.TATPConfig{Subscribers: subscribers, HotAccessFrac: hotFrac})
+	var runTxn func(rng *rand.Rand) error
+	if cfg.workload == "conflict" {
+		w := oltp.NewConflict(db, oltp.ConflictConfig{
+			Partitions:       cfg.parts,
+			RecordsPerTxn:    cfg.records,
+			SpreadPartitions: cfg.spread,
+			OverlapFrac:      cfg.overlap,
+			WriteFrac:        cfg.writeFrac,
+		})
+		if label == "spin" { // first phase: echo what actually runs
+			// NewConflict caps partitions at the shard count and grows
+			// the per-partition population to fit the draw; report the
+			// effective shape, not the raw flags.
+			cc := w.Config()
+			fmt.Printf("conflict shape (effective): %d records/txn, %d partition(s) x %d keys, "+
+				"spread %d, overlap %.2f on %d hot keys/partition, write-frac %.2f\n\n",
+				cc.RecordsPerTxn, cc.Partitions, cc.PerPartition,
+				cc.SpreadPartitions, cc.OverlapFrac, cc.HotPerPartition, cc.WriteFrac)
+		}
+		runTxn = func(rng *rand.Rand) error { return w.Run(rng) }
+	} else {
+		w := oltp.NewTATP(db, oltp.TATPConfig{Subscribers: cfg.subs, HotAccessFrac: cfg.hot})
+		runTxn = func(rng *rand.Rand) error { return w.Run(w.PickKind(rng), rng) }
+	}
 
 	stop := make(chan struct{})
 	var measuring atomic.Bool
 	var commits, failures atomic.Uint64
-	latencies := make([][]time.Duration, workers)
+	latencies := make([][]time.Duration, cfg.workers)
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.workers; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -383,9 +492,8 @@ func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotF
 					return
 				default:
 				}
-				kind := w.PickKind(rng)
 				t0 := time.Now()
-				if err := w.Run(kind, rng); err != nil {
+				if err := runTxn(rng); err != nil {
 					failures.Add(1)
 					continue
 				}
@@ -397,16 +505,49 @@ func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotF
 		}(i)
 	}
 
-	time.Sleep(duration / 4) // warmup
+	// The lock-table census: sample live entries through the run — the
+	// escalation comparison is exactly this number staying bounded.
+	var censusMu sync.Mutex
+	var entriesMax, entriesSum, entriesN int
+	censusStop := make(chan struct{})
+	var censusWG sync.WaitGroup
+	censusWG.Add(1)
+	go func() {
+		defer censusWG.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-censusStop:
+				return
+			case <-tick.C:
+				if !measuring.Load() {
+					continue
+				}
+				n := db.LockEntries()
+				censusMu.Lock()
+				if n > entriesMax {
+					entriesMax = n
+				}
+				entriesSum += n
+				entriesN++
+				censusMu.Unlock()
+			}
+		}
+	}()
+
+	time.Sleep(cfg.duration / 4) // warmup
 	measuring.Store(true)
 	t0 := time.Now()
 	m0 := db.Metrics()
-	time.Sleep(duration)
+	time.Sleep(cfg.duration)
 	measuring.Store(false)
 	m1 := db.Metrics()
 	elapsed := time.Since(t0)
 	close(stop)
 	wg.Wait()
+	close(censusStop)
+	censusWG.Wait()
 
 	var all []time.Duration
 	for _, l := range latencies {
@@ -420,6 +561,12 @@ func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotF
 		abortsPS: float64(m1.Aborts-m0.Aborts) / elapsed.Seconds(),
 		metrics:  m1,
 	}
+	censusMu.Lock()
+	res.entriesMax = entriesMax
+	if entriesN > 0 {
+		res.entriesAvg = float64(entriesSum) / float64(entriesN)
+	}
+	censusMu.Unlock()
 	if len(all) > 0 {
 		q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 		res.p50, res.p99 = q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond)
@@ -429,11 +576,18 @@ func runOLTPPhase(mode kv.LockMode, label string, workers, subscribers int, hotF
 		res.snap = &snap
 		rt.Stop()
 	}
+	// Quiescent check: with every worker stopped, strict 2PL demands an
+	// empty lock table under either policy — leftovers are leaks.
+	if n := db.LockEntries(); n != 0 {
+		fmt.Printf("phase %-14s WARNING: %d lock-table entries leaked after quiesce\n", label, n)
+	}
 	db.Close()
 	store.Close()
-	fmt.Printf("phase %-14s %12.0f commit/s  p50=%-10v p99=%-10v aborts[wait-die=%d timeout=%d] retries=%d lock-waits=%d latch-misses=%d\n",
+	fmt.Printf("phase %-14s %12.0f commit/s  p50=%-10v p99=%-10v aborts[wait-die=%d detected=%d timeout=%d] "+
+		"retries=%d escalations=%d lock-waits=%d latch-misses=%d locks[peak=%d avg=%.0f]\n",
 		label, res.rate, res.p50, res.p99,
-		m1.WaitDieAborts, m1.TimeoutAborts, m1.Retries, m1.LockWaits, m1.LatchMisses)
+		m1.WaitDieAborts, m1.DetectedAborts, m1.TimeoutAborts, m1.Retries, m1.Escalations,
+		m1.LockWaits, m1.LatchMisses, res.entriesMax, res.entriesAvg)
 	if n := failures.Load(); n > 0 {
 		fmt.Printf("phase %-14s WARNING: %d transactions failed terminally (excluded from throughput)\n", label, n)
 	}

@@ -64,6 +64,7 @@ func main() {
 		shards   = flag.Int("shards", 16, "primary shards")
 		stripes  = flag.Int("stripes", 8, "secondary-index stripes")
 		mode     = flag.String("mode", "load-control", "latch mode: load-control, spin or std")
+		policyFl = flag.String("policy", "waitdie", "deadlock policy for /txn transactions: waitdie or detect")
 		loadgen  = flag.Bool("loadgen", false, "run the built-in load generator and exit")
 		conns    = flag.Int("conns", 0, "loadgen client goroutines (0: 32x the multiprogramming level)")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen measurement window per phase")
@@ -97,9 +98,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	policy, err := oltp.NewPolicy(*policyFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	store := kv.New(kv.Options{Shards: *shards, IndexStripes: *stripes, Mode: lockMode})
-	db := oltp.New(store, oltp.Options{})
-	fmt.Printf("lcserve: serving %d-shard kv (%s latches) on %s\n", store.Shards(), store.Mode(), *addr)
+	db := oltp.New(store, oltp.Options{MaxRetries: oltp.DefaultMaxRetries, DeadlockPolicy: policy})
+	fmt.Printf("lcserve: serving %d-shard kv (%s latches, %s deadlock policy) on %s\n",
+		store.Shards(), store.Mode(), db.PolicyName(), *addr)
 	if err := http.ListenAndServe(*addr, newHandler(store, db)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -298,8 +305,9 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 		if err != nil {
 			oltpStats = []byte("null")
 		}
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
-			store.Shards(), store.Len(), store.Mode().String(), latches, oltpStats,
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
+			store.Shards(), store.Len(), store.Mode().String(), db.PolicyName(),
+			db.LockEntries(), latches, oltpStats,
 			topLocksJSON(store.Mode()), snapshotJSON())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -404,7 +412,8 @@ func runPhase(mode kv.LockMode, shards, stripes, conns int, duration time.Durati
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: newHandler(store, oltp.New(store, oltp.Options{Runtime: rt}))}
+		srv := &http.Server{Handler: newHandler(store, oltp.New(store,
+			oltp.Options{Runtime: rt, MaxRetries: oltp.DefaultMaxRetries}))}
 		go srv.Serve(ln)
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        conns,

@@ -133,14 +133,16 @@ func RecordID(table string, part int, key string) ResourceID {
 }
 
 // waiter is one blocked logical lock request. ready is closed exactly
-// once, by the grant path, after setting granted under the stripe
-// latch; the timeout path re-checks granted under the same latch, so
-// the two outcomes cannot race.
+// once — by the grant path after setting granted, or by cancelWaiter
+// after setting aborted, both under the stripe latch; the timeout path
+// re-checks both flags under the same latch, so the three outcomes
+// cannot race.
 type waiter struct {
 	txn     *Txn
 	mode    Mode // the full target mode (lub of held and wanted)
 	ready   chan struct{}
 	granted bool
+	aborted bool // detector victim: wake with AbortDeadlock, not a grant
 }
 
 // dbLock is one logical lock: the granted group plus a FIFO wait
@@ -159,15 +161,17 @@ type lmStripe struct {
 	locks map[ResourceID]*dbLock
 }
 
-// lockManager is the DB's logical lock table.
+// lockManager is the DB's logical lock table. The deadlock policy owns
+// every die-vs-wait decision (see DeadlockPolicy).
 type lockManager struct {
 	stripes []*lmStripe
 	timeout time.Duration
+	policy  DeadlockPolicy
 	m       *Metrics
 }
 
 func newLockManager(mode kv.LockMode, o Options, m *Metrics) *lockManager {
-	lm := &lockManager{timeout: o.WaitTimeout, m: m}
+	lm := &lockManager{timeout: o.WaitTimeout, policy: o.DeadlockPolicy, m: m}
 	newLatch := func(i int) golc.TryLocker {
 		switch mode {
 		case kv.Spin:
@@ -259,12 +263,35 @@ func conflictsQueue(l *dbLock, txn *Txn, mode Mode) bool {
 	return false
 }
 
+// blockersOf collects every transaction this request would wait
+// behind: conflicting holders plus conflicting queued waiters (FIFO
+// fairness queues behind them, so they are wait edges too). Called
+// with the stripe latch held, and only on the park path — the
+// die-vs-wait decision itself walks the lock allocation-free via
+// DeadlockPolicy.shouldDie.
+func blockersOf(l *dbLock, txn *Txn, goal Mode) []*Txn {
+	var bs []*Txn
+	for h, hm := range l.holders {
+		if h != txn && !compat[hm][goal] {
+			bs = append(bs, h)
+		}
+	}
+	for _, w := range l.waiters {
+		if w.txn != txn && !compat[w.mode][goal] {
+			bs = append(bs, w.txn)
+		}
+	}
+	return bs
+}
+
 // acquire takes (or upgrades to) mode on id for txn, blocking if
-// incompatible. It implements wait-die: if txn is younger (larger tid)
-// than any conflicting holder or queued conflicting waiter, it returns
-// an *AbortError immediately instead of waiting — so every wait edge
-// points old→young and no cycle can ever form. Returns nil once the
-// lock is held; txn.held is updated on success.
+// incompatible. Conflicts are resolved by the DB's DeadlockPolicy:
+// wait-die aborts a requester younger than any of its blockers on the
+// spot (every wait edge then points old→young, so no cycle can form);
+// the detector lets every conflict wait and aborts the youngest member
+// of any waits-for cycle the block creates. Either way the loser gets
+// an *AbortError and the txn is marked for Run's retry; returns nil
+// once the lock is held, with txn.held updated.
 func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	st := lm.stripeFor(id)
 	lm.lock(st)
@@ -285,51 +312,53 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 		txn.noteHeld(id, goal)
 		return nil
 	}
-	// Conflict. Wait-die: die if younger than anyone we would wait on.
-	die := false
-	for h, hm := range l.holders {
-		if h != txn && !compat[hm][goal] && txn.tid > h.tid {
-			die = true
-			break
-		}
-	}
-	if !die {
-		for _, w := range l.waiters {
-			if w.txn != txn && !compat[w.mode][goal] && txn.tid > w.txn.tid {
-				die = true
-				break
-			}
-		}
-	}
-	if die {
+	// Conflict: the policy decides between dying now and waiting.
+	if lm.policy.shouldDie(txn, l, goal) {
 		lm.maybeFree(st, id, l)
 		st.latch.Unlock()
 		lm.m.WaitDieAborts.Add(1)
-		return &AbortError{Reason: AbortWaitDie, Resource: id}
+		return txn.noteAbort(&AbortError{Reason: AbortWaitDie, Resource: id})
 	}
-	// Older than every conflicting party: safe to wait. The holders
-	// entry (for an upgrade) keeps its current mode while we wait — we
-	// still hold that.
+	// Safe (or allowed) to wait. The holders entry (for an upgrade)
+	// keeps its current mode while we wait — we still hold that. The
+	// blockers snapshot (the detector's wait edges) must be taken
+	// under the latch, before the queue can shift.
+	blockers := blockersOf(l, txn, goal)
 	w := &waiter{txn: txn, mode: goal, ready: make(chan struct{})}
 	l.waiters = append(l.waiters, w)
 	st.latch.Unlock()
 	lm.m.LockWaits.Add(1)
+	// The detector records wait edges and runs its cycle check here —
+	// possibly cancelling w itself, in which case ready is already
+	// closed when the select below runs.
+	lm.policy.onBlocked(lm, txn, id, w, blockers)
 
 	timer := time.NewTimer(lm.timeout)
 	select {
 	case <-w.ready:
 		timer.Stop()
+		lm.policy.onWake(txn)
+		if w.aborted {
+			return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
+		}
 		txn.noteHeld(id, goal)
 		return nil
 	case <-timer.C:
 	}
-	// Timed out — but a grant may have raced the timer. granted is
-	// only ever set under the stripe latch, so re-check there.
+	// Timed out — but a grant or a victim cancellation may have raced
+	// the timer. Both flags are only ever set under the stripe latch,
+	// so re-check there.
 	lm.lock(st)
 	if w.granted {
 		st.latch.Unlock()
+		lm.policy.onWake(txn)
 		txn.noteHeld(id, goal)
 		return nil
+	}
+	if w.aborted {
+		st.latch.Unlock()
+		lm.policy.onWake(txn)
+		return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
 	}
 	for i, q := range l.waiters {
 		if q == w {
@@ -343,8 +372,52 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	grant(l)
 	lm.maybeFree(st, id, l)
 	st.latch.Unlock()
+	lm.policy.onWake(txn)
 	lm.m.TimeoutAborts.Add(1)
-	return &AbortError{Reason: AbortTimeout, Resource: id}
+	return txn.noteAbort(&AbortError{Reason: AbortTimeout, Resource: id})
+}
+
+// cancelWaiter aborts one parked waiter — the detector's victim path.
+// The victim's pending acquire wakes and returns AbortDeadlock.
+// Reports whether the waiter was actually cancelled: false means a
+// grant (or another cancel) won the race under the stripe latch, in
+// which case the victim is no longer blocked and needs no abort.
+func (lm *lockManager) cancelWaiter(id ResourceID, w *waiter) bool {
+	st := lm.stripeFor(id)
+	lm.lock(st)
+	if w.granted || w.aborted {
+		st.latch.Unlock()
+		return false
+	}
+	l := st.locks[id]
+	found := false
+	if l != nil {
+		for i, q := range l.waiters {
+			if q == w {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		// The waiter already left the queue on its own — it timed out
+		// (and is about to report a timeout abort) between our reading
+		// the waits-for graph and taking this latch. That abort is not
+		// ours to claim: counting it as detected too would double-book
+		// one event under two metrics.
+		st.latch.Unlock()
+		return false
+	}
+	w.aborted = true
+	// The victim's departure can unblock the queue, exactly as on the
+	// timeout path.
+	grant(l)
+	lm.maybeFree(st, id, l)
+	close(w.ready)
+	st.latch.Unlock()
+	lm.m.DetectedAborts.Add(1)
+	return true
 }
 
 // grant hands the lock to the longest-waiting compatible prefix of the
@@ -369,31 +442,42 @@ func (lm *lockManager) maybeFree(st *lmStripe, id ResourceID, l *dbLock) {
 	}
 }
 
+// release drops txn's hold on one resource, waking newly grantable
+// waiters. Used by releaseAll and by escalation (record entries fold
+// into the partition hold and are dropped individually mid-txn — the
+// one sanctioned early release, since the coarser lock still covers
+// them).
+func (lm *lockManager) release(txn *Txn, id ResourceID) {
+	st := lm.stripeFor(id)
+	lm.lock(st)
+	if l := st.locks[id]; l != nil {
+		if _, held := l.holders[txn]; held {
+			delete(l.holders, txn)
+			grant(l)
+		}
+		lm.maybeFree(st, id, l)
+	}
+	st.latch.Unlock()
+}
+
 // releaseAll drops every lock txn holds (strict 2PL: called only from
 // Commit and Abort), waking newly grantable waiters as it goes.
 func (lm *lockManager) releaseAll(txn *Txn) {
 	for id := range txn.held {
-		st := lm.stripeFor(id)
-		lm.lock(st)
-		if l := st.locks[id]; l != nil {
-			if _, held := l.holders[txn]; held {
-				delete(l.holders, txn)
-				grant(l)
-			}
-			lm.maybeFree(st, id, l)
-		}
-		st.latch.Unlock()
+		lm.release(txn, id)
 	}
 	clear(txn.held)
 }
 
 // entries counts live lock-table entries across all stripes (test and
 // stats hook: a quiescent DB must report zero — locks are strict-2PL,
-// so anything left over is a leak).
+// so anything left over is a leak). It latches each stripe directly,
+// NOT through lm.lock: a monitoring probe must not inflate the
+// LatchMisses contention metric it is reported next to.
 func (lm *lockManager) entries() int {
 	n := 0
 	for _, st := range lm.stripes {
-		lm.lock(st)
+		st.latch.Lock()
 		n += len(st.locks)
 		st.latch.Unlock()
 	}

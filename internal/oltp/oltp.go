@@ -25,15 +25,29 @@
 //     sense, and a blocked transaction must not wedge the lock table.
 //     No goroutine ever parks while holding a latch (the paper's
 //     never-block-a-lock-holder rule, end to end).
-//   - Deadlock avoidance is wait-die on transaction begin-timestamps:
-//     a requester younger than any conflicting holder or queued
+//   - Deadlock handling is pluggable (Options.DeadlockPolicy). The
+//     default is wait-die avoidance on transaction begin-timestamps: a
+//     requester younger than any conflicting holder or queued
 //     conflicting waiter aborts immediately (counted in Metrics);
-//     older requesters wait. Every wait edge therefore points from an
-//     older to a younger transaction, so cycles cannot form. A
-//     bounded-wait timeout remains as a backstop tripwire, not a
-//     policy. DB.Run retries aborted transactions under their
-//     original timestamp, which is what makes wait-die live: a
+//     older requesters wait, so every wait edge points old→young and
+//     cycles cannot form. The alternative is a waits-for-graph
+//     detector: every conflict waits, edges are recorded when a
+//     request parks, a cycle check runs on-block, and the youngest
+//     transaction in any cycle is aborted — fewer, better-targeted
+//     aborts at the price of letting real cycles form first. A
+//     bounded-wait timeout remains as a backstop tripwire under both.
+//     DB.Run retries aborted transactions under their original
+//     timestamp, which is what makes either policy live: a
 //     transaction only ever gets older, so it eventually wins.
+//   - Lock escalation defends the lock table itself: when a
+//     transaction's record-lock count under one partition crosses
+//     Options.EscalationThreshold, the next record access under that
+//     partition is satisfied by a single partition-level S or X lock
+//     instead, and the accumulated record entries are dropped — a
+//     transaction can no longer balloon the lock table (and its
+//     stripe latches) with thousands of record locks. The escalated
+//     acquire is an ordinary policy-governed request: it can wait,
+//     wait-die, or be picked as a deadlock victim like any other.
 //   - Transactions buffer writes (reads see their own writes) and
 //     apply them at commit through kv.Store.ApplyBatch — one shard
 //     latch acquisition per touched shard — then release every lock
@@ -62,6 +76,13 @@ var ErrAborted = errors.New("oltp: transaction aborted")
 // ErrTxnDone is returned by operations on a committed or aborted Txn.
 var ErrTxnDone = errors.New("oltp: transaction already finished")
 
+// ErrCallerAborted is returned by DB.Run when fn aborts the
+// transaction itself (t.Abort()) and then returns nil: there is
+// nothing to commit and — absent a lock-manager kill order — nothing
+// to retry, so silently reporting success would be a lie and ErrTxnDone
+// from a blind Commit would be a mystery.
+var ErrCallerAborted = errors.New("oltp: Run: fn aborted the transaction and returned nil")
+
 // AbortReason says why a transaction was told to abort.
 type AbortReason int
 
@@ -70,8 +91,12 @@ const (
 	// holder or queued waiter (the deadlock-avoidance policy).
 	AbortWaitDie AbortReason = iota
 	// AbortTimeout: a lock wait exceeded Options.WaitTimeout (the
-	// backstop; under wait-die this indicates overload, not deadlock).
+	// backstop; under either policy this indicates overload or a bug,
+	// not routine deadlock resolution).
 	AbortTimeout
+	// AbortDeadlock: the waits-for-graph detector found a cycle and
+	// this transaction was its youngest member.
+	AbortDeadlock
 )
 
 func (r AbortReason) String() string {
@@ -80,6 +105,8 @@ func (r AbortReason) String() string {
 		return "wait-die"
 	case AbortTimeout:
 		return "timeout"
+	case AbortDeadlock:
+		return "deadlock"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", int(r))
 	}
@@ -100,6 +127,17 @@ func (e *AbortError) Error() string {
 // Is makes errors.Is(err, ErrAborted) true for every abort.
 func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
+// DefaultMaxRetries is the standard DB.Run retry bound. It is a
+// sentinel the caller opts into explicitly (MaxRetries:
+// oltp.DefaultMaxRetries) — Options no longer rewrites 0 behind the
+// caller's back, so MaxRetries: 0 genuinely means zero retries.
+const DefaultMaxRetries = 100
+
+// DefaultEscalationThreshold is the record-lock count per partition at
+// which Txn.lockRecord escalates to a partition lock when
+// Options.EscalationThreshold is left at its zero value.
+const DefaultEscalationThreshold = 64
+
 // Options configures a DB. The lock-table stripe latches always use
 // the store's own latch mode (kv.Store.Mode), so data-path and
 // lock-manager latches are governed alike — the comparison the
@@ -109,26 +147,43 @@ type Options struct {
 	// with when the store is LoadControlled (default: the process-wide
 	// runtime).
 	Runtime *lcrt.Runtime
+	// DeadlockPolicy resolves logical lock conflicts (default:
+	// NewWaitDiePolicy(); the alternative is NewDetectPolicy()). A
+	// policy instance may carry per-DB state — never share one
+	// instance between DBs.
+	DeadlockPolicy DeadlockPolicy
 	// LockStripes is the number of lock-table stripes (default 32).
 	LockStripes int
-	// WaitTimeout bounds one logical lock wait (default 2s). Wait-die
-	// prevents deadlock, so this firing means overload or a bug; it
-	// is counted separately in Metrics.
+	// WaitTimeout bounds one logical lock wait (default 2s). Both
+	// deadlock policies resolve conflicts themselves, so this firing
+	// means overload or a bug; it is counted separately in Metrics.
 	WaitTimeout time.Duration
-	// MaxRetries bounds DB.Run's abort-and-retry loop (default 100;
-	// <0 means unlimited).
+	// MaxRetries bounds DB.Run's abort-and-retry loop: the number of
+	// retries allowed after the first attempt. 0 — the zero value —
+	// means no retries (the first abort is terminal); <0 means
+	// unlimited (lcbench's MaxRetries: -1). Use DefaultMaxRetries for
+	// the standard bound. (Historically 0 was silently rewritten to
+	// 100, making "no retries" impossible to request.)
 	MaxRetries int
+	// EscalationThreshold is the number of record locks a transaction
+	// may accumulate under one partition before its next record access
+	// there escalates to a single partition-level lock (zero value:
+	// DefaultEscalationThreshold; <0 disables escalation).
+	EscalationThreshold int
 }
 
 func (o Options) withDefaults() Options {
+	if o.DeadlockPolicy == nil {
+		o.DeadlockPolicy = NewWaitDiePolicy()
+	}
 	if o.LockStripes <= 0 {
 		o.LockStripes = 32
 	}
 	if o.WaitTimeout == 0 {
 		o.WaitTimeout = 2 * time.Second
 	}
-	if o.MaxRetries == 0 {
-		o.MaxRetries = 100
+	if o.EscalationThreshold == 0 {
+		o.EscalationThreshold = DefaultEscalationThreshold
 	}
 	return o
 }
@@ -136,38 +191,44 @@ func (o Options) withDefaults() Options {
 // Metrics is the DB's counter set. All fields are atomics; read them
 // through Snapshot.
 type Metrics struct {
-	Begins        atomic.Uint64
-	Commits       atomic.Uint64
-	Aborts        atomic.Uint64
-	Retries       atomic.Uint64
-	WaitDieAborts atomic.Uint64
-	TimeoutAborts atomic.Uint64
-	LockWaits     atomic.Uint64 // logical lock requests that blocked
-	LatchMisses   atomic.Uint64 // lock-table latch TryLock misses (physical contention)
+	Begins         atomic.Uint64
+	Commits        atomic.Uint64
+	Aborts         atomic.Uint64
+	Retries        atomic.Uint64
+	WaitDieAborts  atomic.Uint64
+	DetectedAborts atomic.Uint64 // victims of the waits-for-graph detector
+	TimeoutAborts  atomic.Uint64
+	Escalations    atomic.Uint64 // record→partition lock escalations
+	LockWaits      atomic.Uint64 // logical lock requests that blocked
+	LatchMisses    atomic.Uint64 // lock-table latch TryLock misses (physical contention)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics, JSON-friendly.
 type MetricsSnapshot struct {
-	Begins        uint64 `json:"begins"`
-	Commits       uint64 `json:"commits"`
-	Aborts        uint64 `json:"aborts"`
-	Retries       uint64 `json:"retries"`
-	WaitDieAborts uint64 `json:"wait_die_aborts"`
-	TimeoutAborts uint64 `json:"timeout_aborts"`
-	LockWaits     uint64 `json:"lock_waits"`
-	LatchMisses   uint64 `json:"latch_misses"`
+	Begins         uint64 `json:"begins"`
+	Commits        uint64 `json:"commits"`
+	Aborts         uint64 `json:"aborts"`
+	Retries        uint64 `json:"retries"`
+	WaitDieAborts  uint64 `json:"wait_die_aborts"`
+	DetectedAborts uint64 `json:"detected_aborts"`
+	TimeoutAborts  uint64 `json:"timeout_aborts"`
+	Escalations    uint64 `json:"escalations"`
+	LockWaits      uint64 `json:"lock_waits"`
+	LatchMisses    uint64 `json:"latch_misses"`
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Begins:        m.Begins.Load(),
-		Commits:       m.Commits.Load(),
-		Aborts:        m.Aborts.Load(),
-		Retries:       m.Retries.Load(),
-		WaitDieAborts: m.WaitDieAborts.Load(),
-		TimeoutAborts: m.TimeoutAborts.Load(),
-		LockWaits:     m.LockWaits.Load(),
-		LatchMisses:   m.LatchMisses.Load(),
+		Begins:         m.Begins.Load(),
+		Commits:        m.Commits.Load(),
+		Aborts:         m.Aborts.Load(),
+		Retries:        m.Retries.Load(),
+		WaitDieAborts:  m.WaitDieAborts.Load(),
+		DetectedAborts: m.DetectedAborts.Load(),
+		TimeoutAborts:  m.TimeoutAborts.Load(),
+		Escalations:    m.Escalations.Load(),
+		LockWaits:      m.LockWaits.Load(),
+		LatchMisses:    m.LatchMisses.Load(),
 	}
 }
 
@@ -198,6 +259,16 @@ func (db *DB) Store() *kv.Store { return db.store }
 // Metrics returns a point-in-time copy of the DB's counters.
 func (db *DB) Metrics() MetricsSnapshot { return db.m.snapshot() }
 
+// PolicyName reports the deadlock policy in use ("waitdie", "detect").
+func (db *DB) PolicyName() string { return db.opts.DeadlockPolicy.PolicyName() }
+
+// LockEntries counts live lock-table entries across all stripes. A
+// quiescent DB must report zero under every policy — locks are strict
+// 2PL (escalation's record fold-in included), so anything left over is
+// a leak. It latches every stripe; meant for stats and tests, not hot
+// paths.
+func (db *DB) LockEntries() int { return db.lm.entries() }
+
 // Close releases the lock manager's latch registrations (a no-op in
 // Spin and Std modes; LoadControlled registrations are also GC-aware,
 // so Close is about promptness). The DB stays usable.
@@ -210,36 +281,69 @@ func (db *DB) Begin() *Txn { return db.begin(db.tids.Add(1)) }
 func (db *DB) begin(tid uint64) *Txn {
 	db.m.Begins.Add(1)
 	return &Txn{
-		db:     db,
-		tid:    tid,
-		held:   make(map[ResourceID]Mode),
-		writes: make(map[string]kv.Write),
+		db:       db,
+		tid:      tid,
+		held:     make(map[ResourceID]Mode),
+		recCount: make(map[ResourceID]int),
+		writes:   make(map[string]kv.Write),
 	}
 }
 
-// Run executes fn in a transaction, committing on nil return. Aborted
-// transactions (wait-die, timeout) are retried under their ORIGINAL
+// Run executes fn in a transaction, committing on nil return if fn has
+// not finished the transaction itself. Aborted transactions (wait-die,
+// detected deadlock, timeout) are retried under their ORIGINAL
 // begin-timestamp — the retried transaction only ever gets relatively
-// older, which is what guarantees it eventually wins every wait-die
+// older, which is what guarantees it eventually wins every age-based
 // conflict. Any other error rolls back and is returned as-is.
+//
+// Run inspects the transaction's final state rather than blindly
+// committing: if fn committed itself, that is success; if the lock
+// manager ordered an abort that fn swallowed (returned nil after an
+// AbortError), the attempt is rolled back and retried — committing a
+// kill-ordered transaction's partial work would be wrong; and if fn
+// aborted the transaction voluntarily and returned nil, Run returns
+// ErrCallerAborted instead of the old confusing ErrTxnDone from a
+// doomed Commit call.
 func (db *DB) Run(fn func(*Txn) error) error {
 	tid := db.tids.Add(1)
 	for attempt := 0; ; attempt++ {
 		t := db.begin(tid)
 		err := fn(t)
 		if err == nil {
-			return t.Commit()
+			switch {
+			case t.state == txnCommitted:
+				return nil
+			case t.state == txnAborted && t.abortErr == nil:
+				return ErrCallerAborted
+			case t.abortErr != nil:
+				// The lock manager told this transaction to die and fn
+				// swallowed it: roll back (no-op if fn already did)
+				// and fall through to the retry decision.
+				t.Abort()
+				err = t.abortErr
+			default:
+				if cerr := t.Commit(); cerr != nil {
+					return cerr
+				}
+				return nil
+			}
+		} else {
+			if t.state == txnCommitted {
+				// fn committed and then failed; retrying would re-run
+				// committed work. Surface the error as terminal.
+				return err
+			}
+			t.Abort() // no-op if fn already aborted
+			if !errors.Is(err, ErrAborted) {
+				return err
+			}
 		}
-		t.Abort()
-		if !errors.Is(err, ErrAborted) {
-			return err
-		}
-		if db.opts.MaxRetries >= 0 && attempt+1 >= db.opts.MaxRetries {
+		if db.opts.MaxRetries >= 0 && attempt >= db.opts.MaxRetries {
 			return fmt.Errorf("oltp: giving up after %d attempts: %w", attempt+1, err)
 		}
 		db.m.Retries.Add(1)
-		// Capped exponential backoff: give the older transaction that
-		// killed us time to finish before we re-collide with it.
+		// Capped exponential backoff: give the transaction that killed
+		// us time to finish before we re-collide with it.
 		backoff := 20 * time.Microsecond << min(attempt, 6)
 		time.Sleep(backoff)
 	}

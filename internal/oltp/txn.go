@@ -24,11 +24,13 @@ const (
 // commit. Use DB.Run for automatic abort-and-retry; Begin/Commit/Abort
 // are the manual API.
 type Txn struct {
-	db     *DB
-	tid    uint64 // begin-timestamp: smaller = older, wins wait-die
-	state  txnState
-	held   map[ResourceID]Mode
-	writes map[string]kv.Write // keyed by storage key; last write wins
+	db       *DB
+	tid      uint64 // begin-timestamp: smaller = older, wins age-based conflicts
+	state    txnState
+	held     map[ResourceID]Mode
+	recCount map[ResourceID]int  // record locks held per partition (escalation trigger)
+	abortErr *AbortError         // the lock manager's kill order, if any (Run's retry signal)
+	writes   map[string]kv.Write // keyed by storage key; last write wins
 }
 
 // TID returns the transaction's begin-timestamp (stable across Run's
@@ -48,8 +50,26 @@ func (t *Txn) active() error {
 }
 
 // noteHeld records a granted (or upgraded) lock. Called by the lock
-// manager on the transaction's own goroutine.
-func (t *Txn) noteHeld(id ResourceID, m Mode) { t.held[id] = m }
+// manager on the transaction's own goroutine. Record grants bump the
+// per-partition count that drives escalation (upgrades of an
+// already-held record do not).
+func (t *Txn) noteHeld(id ResourceID, m Mode) {
+	if id.Level == LevelRecord {
+		if _, again := t.held[id]; !again {
+			t.recCount[PartitionID(id.Table, id.Partition)]++
+		}
+	}
+	t.held[id] = m
+}
+
+// noteAbort records the lock manager's kill order on the transaction
+// and returns it. Always called on the transaction's own goroutine
+// (the failing acquire); Run reads it to distinguish "must retry" from
+// "fn gave up voluntarily" even when fn swallows the error.
+func (t *Txn) noteAbort(e *AbortError) error {
+	t.abortErr = e
+	return e
+}
 
 // heldMode reports the mode t currently holds on id (ModeNone if none).
 func (t *Txn) heldMode(id ResourceID) Mode { return t.held[id] }
@@ -82,11 +102,54 @@ func (t *Txn) lockRecord(table string, part int, key string, write bool) error {
 			return err
 		}
 	}
+	if th := t.db.opts.EscalationThreshold; th > 0 && t.recCount[pid] >= th {
+		return t.escalate(pid, write)
+	}
 	rid := RecordID(table, part, key)
 	if covers(t.heldMode(rid), leaf) {
 		return nil
 	}
 	return t.db.lm.acquire(t, rid, leaf)
+}
+
+// escalate folds a transaction's accumulated record locks under one
+// partition into a single partition-level hold: S when every folded
+// record hold and the triggering access are reads, X otherwise (an S
+// partition hold must never cover buffered writes — the commit would
+// write under a read lock). The acquire goes through the ordinary
+// policy-governed path, so escalation can wait, wait-die, or be picked
+// as a deadlock victim like any other request; the record entries are
+// dropped only after the coarser lock is granted, so there is no
+// window where neither granularity is held. The lub lattice does the
+// mode math: IS+S→S, IX+X→X, S+X→X — never a hole.
+//
+// This is the lock table's defense against one transaction ballooning
+// it (and its stripe latches) with thousands of record entries — after
+// escalation the transaction occupies O(1) entries per partition.
+func (t *Txn) escalate(pid ResourceID, write bool) error {
+	target := S
+	if write {
+		target = X
+	}
+	var recs []ResourceID
+	for id, m := range t.held {
+		if id.Level == LevelRecord && id.Table == pid.Table && id.Partition == pid.Partition {
+			if m != S {
+				target = X // an X record hold must stay write-covered
+			}
+			recs = append(recs, id)
+		}
+	}
+	if err := t.db.lm.acquire(t, pid, target); err != nil {
+		return err
+	}
+	for _, id := range recs {
+		t.db.lm.release(t, id)
+		delete(t.held, id)
+	}
+	delete(t.recCount, pid)
+	t.db.m.Escalations.Add(1)
+	return nil
 }
 
 // coarseCovers reports whether a hold at an ancestor level already
@@ -178,11 +241,14 @@ func (t *Txn) ReadPartition(table string, part int) ([]kv.KV, error) {
 		}
 	}
 	prefix := table + "/"
+	scanned := t.db.store.ScanShard(part)
+	seen := make(map[string]struct{}, len(scanned))
 	var out []kv.KV
-	for _, p := range t.db.store.ScanShard(part) {
+	for _, p := range scanned {
 		if !strings.HasPrefix(p.Key, prefix) {
 			continue
 		}
+		seen[p.Key] = struct{}{}
 		if w, buffered := t.writes[p.Key]; buffered {
 			if w.Delete {
 				continue
@@ -192,13 +258,18 @@ func (t *Txn) ReadPartition(table string, part int) ([]kv.KV, error) {
 		out = append(out, kv.KV{Key: strings.TrimPrefix(p.Key, prefix), Value: p.Value})
 	}
 	// Overlay buffered inserts for this (table, partition) that the
-	// store scan could not see yet.
+	// scan did not see. "Did not see" is judged against the scan output
+	// itself (the seen set), never a second latched store.Get: the Get
+	// cost one extra shard-latch acquisition per buffered write, and a
+	// non-transactional Put landing between ScanShard and Get made the
+	// insert look already-overlaid and silently dropped the
+	// transaction's own buffered write from its own read.
 	for sk, w := range t.writes {
 		if w.Delete || !strings.HasPrefix(sk, prefix) || t.db.store.ShardOf(sk) != part {
 			continue
 		}
-		if _, exists := t.db.store.Get(sk); exists {
-			continue // already overlaid in place
+		if _, ok := seen[sk]; ok {
+			continue // overlaid in place above
 		}
 		out = append(out, kv.KV{Key: strings.TrimPrefix(sk, prefix), Value: w.Value})
 	}
@@ -210,9 +281,20 @@ func (t *Txn) ReadPartition(table string, part int) ([]kv.KV, error) {
 // shard, via kv.Store.ApplyBatch) and releases every lock. Strict 2PL:
 // locks are held until after the writes land, so no other transaction
 // can observe a partial commit.
+//
+// A transaction the lock manager ordered to abort (wait-die, detected
+// deadlock, timeout — some acquire returned an *AbortError) cannot
+// commit: its write-set is partial by construction. Commit rolls it
+// back and returns the original kill order, so a caller that swallowed
+// the acquire error cannot sneak partial work into the store — DB.Run
+// then sees the aborted state and retries as usual.
 func (t *Txn) Commit() error {
 	if err := t.active(); err != nil {
 		return err
+	}
+	if t.abortErr != nil {
+		t.Abort()
+		return t.abortErr
 	}
 	if len(t.writes) > 0 {
 		batch := make([]kv.Write, 0, len(t.writes))

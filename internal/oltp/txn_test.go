@@ -336,7 +336,7 @@ func TestConcurrentTransfers(t *testing.T) {
 	defer goruntime.GOMAXPROCS(prev)
 	for _, mode := range []kv.LockMode{kv.LoadControlled, kv.Spin, kv.Std} {
 		t.Run(mode.String(), func(t *testing.T) {
-			db := newTestDB(t, mode, Options{})
+			db := newTestDB(t, mode, Options{MaxRetries: -1})
 			const accounts = 8
 			const perAccount = 100
 			for i := 0; i < accounts; i++ {
