@@ -132,6 +132,43 @@ func BenchmarkGolcMutexUncontended(b *testing.B) {
 	}
 }
 
+// benchGolcUncontendedPolicy is the API-redesign no-regression check:
+// the uncontended Lock/Unlock path of the unified Mutex must not
+// depend on which policy is installed (the fast path never consults
+// it). Recorded per built-in in BENCH_4.json against the PR 4
+// dedicated types.
+func benchGolcUncontendedPolicy(b *testing.B, pol golc.ContentionPolicy) {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	mu := golc.New("bench-uncontended", golc.WithPolicy(pol), golc.WithRuntime(rt))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		mu.Unlock() //nolint:staticcheck // empty critical section is the benchmark
+	}
+}
+
+func BenchmarkGolcUncontendedSpin(b *testing.B)  { benchGolcUncontendedPolicy(b, golc.Spin) }
+func BenchmarkGolcUncontendedBlock(b *testing.B) { benchGolcUncontendedPolicy(b, golc.Block) }
+func BenchmarkGolcUncontendedLC(b *testing.B)    { benchGolcUncontendedPolicy(b, golc.LoadControlled) }
+
+// BenchmarkGolcRWUncontended: same check for the unified RWMutex
+// (write then read acquire per iteration).
+func BenchmarkGolcRWUncontended(b *testing.B) {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	mu := golc.NewRW("bench-rw-uncontended", golc.WithRuntime(rt))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		mu.Unlock()
+		mu.RLock()
+		mu.RUnlock()
+	}
+}
+
 // BenchmarkGolcMutexContended measures the real library under
 // oversubscription (parallelism x8).
 func BenchmarkGolcMutexContended(b *testing.B) {

@@ -37,15 +37,28 @@
 // abort split (wait-die vs detected vs timeout), escalations, and the
 // live lock-table entry census alongside throughput.
 //
+// Contention policies: without -oltp, -policy selects the golc
+// contention policy by registry name (spin, block, lc; default derived
+// from -lc). With -oltp, -policy is the DEADLOCK policy (waitdie or
+// detect) and the contention policy is swept (spin, block, lc — one
+// phase each). The -swap-at flag runs the hot-swap scenario instead:
+// start every lock under -swap-from (default spin), flip them live to
+// -swap-to (default lc) that far into the measurement window via
+// SetPolicy, and report throughput before and after the flip — without
+// -oltp in acquires/s, with -oltp in commit/s of a single phase.
+//
 // Usage:
 //
 //	lcbench -goroutines 64 -locks 8 -cs 500ns -think 2us -duration 3s -lc
+//	lcbench -policy block          # same hammer under the block policy
+//	lcbench -swap-at 1s            # hot-swap spin->lc mid-run
 //	lcbench -adversarial
 //	lcbench -adversarial -nowake   # ablation: timeout-only wakes
 //	lcbench -oltp                  # TATP mix, spin vs block vs load-control
 //	lcbench -oltp -mp 16 -subs 8192 -hot 0.8
 //	lcbench -oltp -workload conflict -policy detect
 //	lcbench -oltp -workload conflict -records 96 -parts 1 -escalate -1
+//	lcbench -oltp -swap-at 1s      # one phase, latches flipped spin->lc
 package main
 
 import (
@@ -81,7 +94,10 @@ func main() {
 		subs        = flag.Int("subs", 4096, "with -oltp: TATP subscriber population")
 		hot         = flag.Float64("hot", 0.6, "with -oltp: fraction of transactions aimed at the hot subscriber set")
 		workload    = flag.String("workload", "tatp", "with -oltp: workload shape, tatp or conflict")
-		policy      = flag.String("policy", "waitdie", "with -oltp: deadlock policy, waitdie or detect")
+		policy      = flag.String("policy", "", "with -oltp: deadlock policy (waitdie or detect; default waitdie); without: contention policy (spin, block, lc; default from -lc)")
+		swapAt      = flag.Duration("swap-at", 0, "hot-swap scenario: flip every lock's contention policy this far into the measurement window (0: off)")
+		swapFrom    = flag.String("swap-from", "spin", "with -swap-at: contention policy before the flip")
+		swapTo      = flag.String("swap-to", "lc", "with -swap-at: contention policy after the flip")
 		escalate    = flag.Int("escalate", 0, "with -oltp: record->partition escalation threshold (0: default 64; <0: disabled)")
 		records     = flag.Int("records", 16, "with -workload conflict: records touched per transaction")
 		parts       = flag.Int("parts", 4, "with -workload conflict: partitions the key population spans")
@@ -101,13 +117,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lcbench: unknown -workload %q (want tatp or conflict)\n", *workload)
 			os.Exit(2)
 		}
-		if _, err := oltp.NewPolicy(*policy); err != nil {
+		dlPolicy := *policy
+		if dlPolicy == "" {
+			dlPolicy = "waitdie"
+		}
+		if _, err := oltp.NewPolicy(dlPolicy); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		runOLTP(oltpConfig{
 			workload:  *workload,
-			policy:    *policy,
+			policy:    dlPolicy,
 			escalate:  *escalate,
 			workers:   workers,
 			mp:        *mp,
@@ -119,6 +139,9 @@ func main() {
 			overlap:   *overlap,
 			writeFrac: *writeFrac,
 			duration:  *duration,
+			swapAt:    *swapAt,
+			swapFrom:  *swapFrom,
+			swapTo:    *swapTo,
 		})
 		return
 	}
@@ -134,32 +157,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lcbench: -locks must be >= 1")
 		os.Exit(2)
 	}
-	if *perLock && !*useLC {
-		fmt.Fprintln(os.Stderr, "lcbench: -perlock requires -lc")
+
+	// Contention policy: -policy wins; otherwise -lc picks lc or spin.
+	// The hot-swap scenario names its starting policy with -swap-from,
+	// so a -policy alongside -swap-at is a conflict, not an override.
+	if *policy != "" && *swapAt > 0 {
+		fmt.Fprintln(os.Stderr, "lcbench: -policy conflicts with -swap-at; name the starting policy with -swap-from")
 		os.Exit(2)
+	}
+	polName := "spin"
+	if *useLC {
+		polName = "lc"
+	}
+	if *policy != "" {
+		polName = *policy
+	}
+	if *swapAt > 0 {
+		polName = *swapFrom
+	}
+	pol, err := golc.PolicyByName(polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcbench:", err)
+		os.Exit(2)
+	}
+	if *perLock && pol.Name() != "lc" {
+		fmt.Fprintln(os.Stderr, "lcbench: -perlock requires the lc policy")
+		os.Exit(2)
+	}
+	var swapPol golc.ContentionPolicy
+	if *swapAt > 0 {
+		if swapPol, err = golc.PolicyByName(*swapTo); err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench:", err)
+			os.Exit(2)
+		}
+		if *swapAt >= *duration {
+			fmt.Fprintln(os.Stderr, "lcbench: -swap-at must fall inside -duration")
+			os.Exit(2)
+		}
 	}
 
 	var rts []*lcrt.Runtime
-	locks := make([]golc.Locker, *nlocks)
-	switch {
-	case *useLC && *perLock:
-		for i := range locks {
-			rt := lcrt.New(lcrt.Options{})
-			rt.Start()
-			rts = append(rts, rt)
-			locks[i] = golc.NewNamedMutex(rt, fmt.Sprintf("bench-%03d", i))
-		}
-	case *useLC:
+	newRT := func() *lcrt.Runtime {
 		rt := lcrt.New(lcrt.Options{})
 		rt.Start()
 		rts = append(rts, rt)
-		for i := range locks {
-			locks[i] = golc.NewNamedMutex(rt, fmt.Sprintf("bench-%03d", i))
+		return rt
+	}
+	locks := make([]*golc.Mutex, *nlocks)
+	shared := newRT()
+	for i := range locks {
+		rt := shared
+		if *perLock {
+			rt = newRT()
 		}
-	default:
-		for i := range locks {
-			locks[i] = golc.NewSpinMutex()
-		}
+		locks[i] = golc.New(fmt.Sprintf("bench-%03d", i),
+			golc.WithPolicy(pol), golc.WithRuntime(rt))
 	}
 
 	var ops atomic.Uint64
@@ -167,7 +219,7 @@ func main() {
 	var wg sync.WaitGroup
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
-		go func(mu golc.Locker) {
+		go func(mu *golc.Mutex) {
 			defer wg.Done()
 			for {
 				select {
@@ -187,38 +239,64 @@ func main() {
 	time.Sleep(*duration / 4) // warmup
 	start := ops.Load()
 	t0 := time.Now()
-	time.Sleep(*duration)
+	var preOps, postOps uint64
+	var preDur, postDur time.Duration
+	if *swapAt > 0 {
+		// The hot-swap scenario: flip every lock live mid-window.
+		time.Sleep(*swapAt)
+		preOps = ops.Load() - start
+		preDur = time.Since(t0)
+		for _, mu := range locks {
+			mu.SetPolicy(swapPol)
+		}
+		mid := ops.Load()
+		tMid := time.Now()
+		time.Sleep(*duration - *swapAt)
+		postOps = ops.Load() - mid
+		postDur = time.Since(tMid)
+	} else {
+		time.Sleep(*duration)
+	}
 	delta := ops.Load() - start
 	elapsed := time.Since(t0)
 	close(stop)
 	wg.Wait()
 
-	mode := "spin"
-	if *useLC {
+	mode := polName
+	if pol.Name() == "lc" {
 		mode = "load-control/shared"
 		if *perLock {
 			mode = "load-control/per-lock"
 		}
 	}
+	if *swapAt > 0 {
+		mode = fmt.Sprintf("swap(%s->%s@%v)", pol.Name(), swapPol.Name(), *swapAt)
+	}
 	fmt.Printf("mode=%s goroutines=%d locks=%d gomaxprocs=%d cs=%v think=%v\n",
 		mode, *n, *nlocks, runtime.GOMAXPROCS(0), *cs, *think)
 	fmt.Printf("throughput: %.0f acquires/s (%d in %v)\n",
 		float64(delta)/elapsed.Seconds(), delta, elapsed.Round(time.Millisecond))
+	if *swapAt > 0 {
+		fmt.Printf("hot-swap: before=%.0f acquires/s (%v under %s)  after=%.0f acquires/s (%v under %s)\n",
+			float64(preOps)/preDur.Seconds(), preDur.Round(time.Millisecond), pol.Name(),
+			float64(postOps)/postDur.Seconds(), postDur.Round(time.Millisecond), swapPol.Name())
+	}
 	var agg lcrt.Snapshot
 	for _, rt := range rts {
 		s := rt.Snapshot()
 		agg.Updates += s.Updates
 		agg.Claims += s.Claims
+		agg.ForcedClaims += s.ForcedClaims
 		agg.ControllerWakes += s.ControllerWakes
+		agg.UnlockWakes += s.UnlockWakes
 		agg.TimeoutWakes += s.TimeoutWakes
+		agg.Cancels += s.Cancels
 		agg.LocksRegistered += s.LocksRegistered
 		rt.Stop()
 	}
-	if len(rts) > 0 {
-		fmt.Printf("controller(s)=%d: updates=%d claims=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d locks=%d\n",
-			len(rts), agg.Updates, agg.Claims, agg.ControllerWakes, agg.UnlockWakes, agg.TimeoutWakes,
-			agg.Cancels, agg.LocksRegistered)
-	}
+	fmt.Printf("controller(s)=%d: updates=%d claims=%d forced=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d locks=%d\n",
+		len(rts), agg.Updates, agg.Claims, agg.ForcedClaims, agg.ControllerWakes, agg.UnlockWakes, agg.TimeoutWakes,
+		agg.Cancels, agg.LocksRegistered)
 }
 
 // runAdversarial is the stranded-lock scenario: hotWorkers goroutines
@@ -338,7 +416,7 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 // oltpConfig carries the -oltp sweep's knobs.
 type oltpConfig struct {
 	workload  string // tatp | conflict
-	policy    string // waitdie | detect
+	policy    string // waitdie | detect (the DEADLOCK policy)
 	escalate  int    // escalation threshold (0 default, <0 off)
 	workers   int
 	mp        int
@@ -350,11 +428,16 @@ type oltpConfig struct {
 	overlap   float64
 	writeFrac float64
 	duration  time.Duration
+	swapAt    time.Duration // >0: hot-swap scenario (single phase)
+	swapFrom  string        // contention policy before the flip
+	swapTo    string        // contention policy after the flip
+	// swapToPol is swapTo resolved once, up front, by runOLTP — the
+	// phase must not discover a typo mid-measurement.
+	swapToPol golc.ContentionPolicy
 }
 
 // oltpResult is one OLTP phase's outcome.
 type oltpResult struct {
-	mode       kv.LockMode
 	label      string
 	rate       float64 // commits/s
 	abortsPS   float64
@@ -363,6 +446,9 @@ type oltpResult struct {
 	entriesAvg float64 // mean of the samples
 	metrics    oltp.MetricsSnapshot
 	snap       *lcrt.Snapshot
+	// Hot-swap scenario only: commit/s in the windows before and
+	// after the SetPolicy flip.
+	preRate, postRate float64
 }
 
 // runOLTP sweeps one transactional workload across the three latch
@@ -388,10 +474,37 @@ func runOLTP(cfg oltpConfig) {
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.GOMAXPROCS(0)/runtime.NumCPU(),
 		shape, cfg.duration)
 
+	if cfg.swapAt > 0 {
+		// Hot-swap scenario: one phase, latches flipped live mid-run.
+		// Validate BOTH policy names before any setup — a typo in
+		// -swap-to must not burn the whole pre-swap window first.
+		if cfg.swapAt >= cfg.duration {
+			fmt.Fprintln(os.Stderr, "lcbench: -swap-at must fall inside -duration")
+			os.Exit(2)
+		}
+		if _, err := golc.PolicyByName(cfg.swapFrom); err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench:", err)
+			os.Exit(2)
+		}
+		var err error
+		if cfg.swapToPol, err = golc.PolicyByName(cfg.swapTo); err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench:", err)
+			os.Exit(2)
+		}
+		label := fmt.Sprintf("swap(%s->%s)", cfg.swapFrom, cfg.swapTo)
+		r := runOLTPPhase(cfg.swapFrom, label, cfg)
+		fmt.Printf("\nhot-swap at %v: before=%.0f commit/s (%s) after=%.0f commit/s (%s)\n",
+			cfg.swapAt, r.preRate, cfg.swapFrom, r.postRate, cfg.swapTo)
+		if r.preRate > 0 {
+			fmt.Printf("after/before commit throughput: %.2fx\n", r.postRate/r.preRate)
+		}
+		return
+	}
+
 	results := []oltpResult{
-		runOLTPPhase(kv.Spin, "spin", cfg),
-		runOLTPPhase(kv.Std, "block", cfg),
-		runOLTPPhase(kv.LoadControlled, "load-control", cfg),
+		runOLTPPhase("spin", "spin", cfg),
+		runOLTPPhase("block", "block", cfg),
+		runOLTPPhase("lc", "load-control", cfg),
 	}
 
 	fmt.Println("\nsummary:")
@@ -430,10 +543,20 @@ func escalationLabel(th int) string {
 	}
 }
 
-// runOLTPPhase measures one latch mode end to end.
-func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
-	var rt *lcrt.Runtime
-	kvOpts := kv.Options{Shards: 16, IndexStripes: 8, Mode: mode}
+// runOLTPPhase measures one contention policy end to end (latches are
+// created under polName via the golc policy registry).
+func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
+	cpol, err := golc.PolicyByName(polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcbench:", err)
+		os.Exit(2)
+	}
+	// Every phase gets a private runtime: even the spin phase's
+	// latches register (census and stats still flow), and the lc
+	// phase's controller governs them.
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	kvOpts := kv.Options{Shards: 16, IndexStripes: 8, Policy: cpol, Runtime: rt}
 	pol, err := oltp.NewPolicy(cfg.policy) // fresh instance per DB: the detector's graph is per-DB state
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -442,13 +565,7 @@ func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
 	// MaxRetries < 0 = unlimited: every transaction eventually commits
 	// under its original timestamp, so throughput compares policies,
 	// not give-up thresholds.
-	dbOpts := oltp.Options{MaxRetries: -1, DeadlockPolicy: pol, EscalationThreshold: cfg.escalate}
-	if mode == kv.LoadControlled {
-		rt = lcrt.New(lcrt.Options{})
-		rt.Start()
-		kvOpts.Runtime = rt
-		dbOpts.Runtime = rt
-	}
+	dbOpts := oltp.Options{MaxRetries: -1, DeadlockPolicy: pol, EscalationThreshold: cfg.escalate, Runtime: rt}
 	store := kv.New(kvOpts)
 	db := oltp.New(store, dbOpts)
 	var runTxn func(rng *rand.Rand) error
@@ -540,7 +657,23 @@ func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
 	measuring.Store(true)
 	t0 := time.Now()
 	m0 := db.Metrics()
-	time.Sleep(cfg.duration)
+	res := oltpResult{label: label}
+	if cfg.swapAt > 0 {
+		time.Sleep(cfg.swapAt)
+		pre := commits.Load()
+		preDur := time.Since(t0)
+		// The flip: every kv shard/stripe latch and every lock-table
+		// stripe latch switches policy, live, under full load.
+		store.SetPolicy(cfg.swapToPol)
+		db.SetLatchPolicy(cfg.swapToPol)
+		mid := commits.Load()
+		tMid := time.Now()
+		time.Sleep(cfg.duration - cfg.swapAt)
+		res.preRate = float64(pre) / preDur.Seconds()
+		res.postRate = float64(commits.Load()-mid) / time.Since(tMid).Seconds()
+	} else {
+		time.Sleep(cfg.duration)
+	}
 	measuring.Store(false)
 	m1 := db.Metrics()
 	elapsed := time.Since(t0)
@@ -554,13 +687,9 @@ func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	res := oltpResult{
-		mode:     mode,
-		label:    label,
-		rate:     float64(commits.Load()) / elapsed.Seconds(),
-		abortsPS: float64(m1.Aborts-m0.Aborts) / elapsed.Seconds(),
-		metrics:  m1,
-	}
+	res.rate = float64(commits.Load()) / elapsed.Seconds()
+	res.abortsPS = float64(m1.Aborts-m0.Aborts) / elapsed.Seconds()
+	res.metrics = m1
 	censusMu.Lock()
 	res.entriesMax = entriesMax
 	if entriesN > 0 {
@@ -571,11 +700,9 @@ func runOLTPPhase(mode kv.LockMode, label string, cfg oltpConfig) oltpResult {
 		q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 		res.p50, res.p99 = q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond)
 	}
-	if rt != nil {
-		snap := rt.Snapshot()
-		res.snap = &snap
-		rt.Stop()
-	}
+	snap := rt.Snapshot()
+	res.snap = &snap
+	rt.Stop()
 	// Quiescent check: with every worker stopped, strict 2PL demands an
 	// empty lock table under either policy — leftovers are leaks.
 	if n := db.LockEntries(); n != 0 {

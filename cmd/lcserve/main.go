@@ -12,6 +12,15 @@
 //	curl 'localhost:8080/lookup?value=tier-1'
 //	curl localhost:8080/stats          # runtime + per-latch snapshot + top contended locks
 //	curl localhost:8080/debug/vars     # expvar (includes "golc")
+//	curl localhost:8080/policy         # current latch contention policy
+//	curl -X POST -d lc localhost:8080/policy   # hot-swap every latch's policy
+//
+// The /policy endpoint is the operator's overload lever: POST any
+// registered golc contention policy name (spin, block, lc) and every
+// shard, stripe, and lock-table latch flips to it live via SetPolicy —
+// e.g. moving a service that was started with spin latches onto
+// load-controlled waiting as multiprogramming climbs, without a
+// restart.
 //
 // The /txn endpoint executes a multi-operation transaction through the
 // internal/oltp layer (strict 2PL on the hierarchical lock manager,
@@ -53,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/golc"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/oltp"
@@ -93,9 +103,9 @@ func main() {
 		return
 	}
 
-	lockMode, err := parseMode(*mode)
+	lockPolicy, err := golc.PolicyByName(*mode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "lcserve:", err)
 		os.Exit(2)
 	}
 	policy, err := oltp.NewPolicy(*policyFl)
@@ -103,26 +113,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	store := kv.New(kv.Options{Shards: *shards, IndexStripes: *stripes, Mode: lockMode})
+	store := kv.New(kv.Options{Shards: *shards, IndexStripes: *stripes, Policy: lockPolicy})
 	db := oltp.New(store, oltp.Options{MaxRetries: oltp.DefaultMaxRetries, DeadlockPolicy: policy})
 	fmt.Printf("lcserve: serving %d-shard kv (%s latches, %s deadlock policy) on %s\n",
-		store.Shards(), store.Mode(), db.PolicyName(), *addr)
+		store.Shards(), store.Policy().Name(), db.PolicyName(), *addr)
 	if err := http.ListenAndServe(*addr, newHandler(store, db)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-}
-
-func parseMode(s string) (kv.LockMode, error) {
-	switch s {
-	case "load-control", "lc":
-		return kv.LoadControlled, nil
-	case "spin":
-		return kv.Spin, nil
-	case "std", "sync":
-		return kv.Std, nil
-	default:
-		return 0, fmt.Errorf("lcserve: unknown -mode %q (want load-control, spin or std)", s)
 	}
 }
 
@@ -295,6 +292,32 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 	mux.HandleFunc("/txn", func(w http.ResponseWriter, r *http.Request) {
 		handleTxn(db, w, r)
 	})
+	// The hot-swap lever: GET reports the current latch contention
+	// policy; POST flips every latch in the process — kv shards and
+	// stripes plus the oltp lock-table stripes — to the named policy.
+	mux.HandleFunc("/policy", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			fmt.Fprintf(w, "%s\n", store.Policy().Name())
+		case http.MethodPost, http.MethodPut:
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256))
+			if err != nil {
+				http.Error(w, "error reading body", http.StatusBadRequest)
+				return
+			}
+			name := strings.TrimSpace(string(body))
+			p, err := golc.PolicyByName(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			store.SetPolicy(p)
+			db.SetLatchPolicy(p)
+			fmt.Fprintf(w, "%s\n", p.Name())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		latches, err := json.Marshal(store.LatchStats())
@@ -305,10 +328,10 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 		if err != nil {
 			oltpStats = []byte("null")
 		}
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"mode":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
-			store.Shards(), store.Len(), store.Mode().String(), db.PolicyName(),
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
+			store.Shards(), store.Len(), store.Policy().Name(), db.PolicyName(),
 			db.LockEntries(), latches, oltpStats,
-			topLocksJSON(store.Mode()), snapshotJSON())
+			topLocksJSON(), snapshotJSON())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
@@ -317,11 +340,9 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 // topLocksJSON renders the N most contended locks of the process-wide
 // runtime (parks + unlock wakes, per runtime.Snapshot.TopContended) so
 // OLTP hot partitions show up by name instead of drowning in the
-// aggregate totals. Null in spin/std modes, where nothing registers.
-func topLocksJSON(mode kv.LockMode) string {
-	if mode != kv.LoadControlled {
-		return "null"
-	}
+// aggregate totals. Every policy registers its latches now, so this is
+// meaningful under spin and block too.
+func topLocksJSON() string {
 	b, err := json.Marshal(lcrt.Default().Snapshot().TopContended(5))
 	if err != nil {
 		return "null"
@@ -340,9 +361,9 @@ func snapshotJSON() string {
 
 // result is one loadgen phase's outcome.
 type result struct {
-	mode kv.LockMode
-	rate float64
-	snap *lcrt.Snapshot
+	policy string
+	rate   float64
+	snap   *lcrt.Snapshot
 }
 
 // runLoadgen runs the ON and OFF phases and prints the comparison.
@@ -356,14 +377,14 @@ func runLoadgen(shards, stripes, conns int, duration time.Duration, keys int, ov
 		conns, runtime.GOMAXPROCS(0), runtime.NumCPU(), shards, transport, duration)
 
 	results := []result{
-		runPhase(kv.LoadControlled, shards, stripes, conns, duration, keys, overHTTP),
-		runPhase(kv.Spin, shards, stripes, conns, duration, keys, overHTTP),
+		runPhase(golc.LoadControlled, shards, stripes, conns, duration, keys, overHTTP),
+		runPhase(golc.Spin, shards, stripes, conns, duration, keys, overHTTP),
 	}
 
 	fmt.Println("summary:")
 	for _, r := range results {
 		label := "load control OFF (spin latches)"
-		if r.mode == kv.LoadControlled {
+		if r.policy == "lc" {
 			label = "load control ON"
 		}
 		fmt.Printf("  %-32s %12.0f ops/s\n", label, r.rate)
@@ -390,15 +411,11 @@ func runLoadgen(shards, stripes, conns int, duration time.Duration, keys int, ov
 	}
 }
 
-// runPhase measures one latch mode end to end.
-func runPhase(mode kv.LockMode, shards, stripes, conns int, duration time.Duration, keys int, overHTTP bool) result {
-	var rt *lcrt.Runtime
-	opts := kv.Options{Shards: shards, IndexStripes: stripes, Mode: mode}
-	if mode == kv.LoadControlled {
-		rt = lcrt.New(lcrt.Options{})
-		rt.Start()
-		opts.Runtime = rt
-	}
+// runPhase measures one latch contention policy end to end.
+func runPhase(pol golc.ContentionPolicy, shards, stripes, conns int, duration time.Duration, keys int, overHTTP bool) result {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	opts := kv.Options{Shards: shards, IndexStripes: stripes, Policy: pol, Runtime: rt}
 	store := kv.New(opts)
 	for i := 0; i < keys; i++ {
 		store.Put(keyName(i), fmt.Sprintf("tier-%d", i%16))
@@ -462,18 +479,16 @@ func runPhase(mode kv.LockMode, shards, stripes, conns int, duration time.Durati
 	wg.Wait()
 	shutdown()
 
-	res := result{mode: mode, rate: float64(measured) / elapsed.Seconds()}
-	if rt != nil {
-		snap := rt.Snapshot()
-		res.snap = &snap
-		rt.Stop()
-	}
+	res := result{policy: pol.Name(), rate: float64(measured) / elapsed.Seconds()}
+	snap := rt.Snapshot()
+	res.snap = &snap
+	rt.Stop()
 	store.Close()
 	fmt.Printf("phase %-12s %12.0f ops/s (%d ops in %v)\n",
-		store.Mode().String(), res.rate, measured, elapsed.Round(time.Millisecond))
+		pol.Name(), res.rate, measured, elapsed.Round(time.Millisecond))
 	if n := errs.Load(); n > 0 {
 		fmt.Printf("phase %-12s WARNING: %d failed requests excluded from throughput\n",
-			store.Mode().String(), n)
+			pol.Name(), n)
 	}
 	return res
 }

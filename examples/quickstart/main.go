@@ -33,8 +33,13 @@ func main() {
 	fmt.Printf("load-control: %10.0f acquires/s  (claims=%d, controller wakes=%d)\n",
 		lcOps, st.Claims, st.ControllerWakes)
 
-	// 2. The same workload on an uncontrolled spinlock.
-	spinOps := drive(golc.NewSpinMutex(), workers, time.Second)
+	// 2. The same workload on the same lock type under the Spin
+	// policy: an uncontrolled spinlock.
+	spinRT := lcrt.New(lcrt.Options{})
+	spinRT.Start()
+	spinOps := drive(golc.New("quickstart-spin", golc.WithPolicy(golc.Spin), golc.WithRuntime(spinRT)),
+		workers, time.Second)
+	spinRT.Stop()
 	fmt.Printf("plain spin:   %10.0f acquires/s\n", spinOps)
 
 	fmt.Println("\nthe point: under oversubscription the controller parks spinning")

@@ -2,17 +2,27 @@
 // Go programs — the paper's augmented-spinlock client protocol (§3.1.2)
 // adapted to the Go runtime.
 //
-// The locks themselves are thin: a TATAS spinlock (Mutex) and a
-// writer-preferring reader/writer variant (RWMutex) whose spinners
-// interleave slot-buffer checks into their spin loops (one shared
-// cadence, see spin.go), and whose release paths wake a parked waiter
-// when no spinner remains (runtime.Handle.NoteUnlock), so a free lock
-// never idles until the safety timeout. All load-control policy lives
-// in the process-wide runtime (internal/golc/runtime): one controller
-// goroutine, one load sensor, and one sleep-slot pool shared by every
-// lock in the process, which is the paper's central architectural
-// claim. Locks register with a Runtime at construction and receive a
-// Handle carrying the protocol and per-lock metrics.
+// The locks themselves are thin: ONE TATAS mutex (Mutex) and ONE
+// writer-preferring reader/writer variant (RWMutex), each parameterized
+// by a swappable ContentionPolicy that owns the entire wait side —
+// spin cadence, spin-then-park threshold, slot-pool parking, context
+// cancellation. The built-in policies are Spin (uncontrolled
+// baseline), Block (spin-then-block on the shared slot pool), and
+// LoadControlled (the paper's protocol: spinners interleave slot-
+// buffer checks into their spin loops and park when the controller
+// says the system is oversubscribed). Policies are selected by value
+// (golc.New(name, golc.WithPolicy(golc.Spin))), by registry name
+// (PolicyByName), and hot-swapped on live locks (SetPolicy). All
+// release paths wake a parked waiter when no spinner remains
+// (runtime.Handle.NoteUnlock), so a free lock never idles until the
+// safety timeout under any policy.
+//
+// All load-control policy state lives in the process-wide runtime
+// (internal/golc/runtime): one controller goroutine, one load sensor,
+// and one sleep-slot pool shared by every lock in the process, which
+// is the paper's central architectural claim. Locks register with a
+// Runtime at construction and receive a Handle carrying the protocol
+// and per-lock metrics.
 //
 // The adaptation and its honest limits: the paper's controller reads
 // the OS's runnable-thread count via microstate accounting, but the Go
@@ -26,14 +36,20 @@
 // or an application-level admission counter).
 package golc
 
+import (
+	"sync"
+
+	lcrt "repro/internal/golc/runtime"
+)
+
 // Locker is the subset of sync.Locker this package implements.
 type Locker interface {
 	Lock()
 	Unlock()
 }
 
-// RWLocker is the reader/writer interface implemented by RWMutex and
-// SpinRWMutex (and satisfied by *sync.RWMutex).
+// RWLocker is the reader/writer interface implemented by RWMutex (and
+// satisfied by *sync.RWMutex).
 type RWLocker interface {
 	Lock()
 	Unlock()
@@ -42,12 +58,37 @@ type RWLocker interface {
 }
 
 // TryLocker is a Locker with a non-blocking acquire, implemented by
-// Mutex, SpinMutex, RWMutex and SpinRWMutex (and satisfied by
-// *sync.Mutex and *sync.RWMutex). A failed TryLock costs one atomic
-// read-modify-write and touches no load-control state, which makes it
-// the right probe for callers that want to count contention (try,
-// then fall back to Lock) or avoid blocking entirely.
+// Mutex and RWMutex (and satisfied by *sync.Mutex and *sync.RWMutex).
+// A failed TryLock costs one atomic read-modify-write and touches no
+// load-control state, which makes it the right probe for callers that
+// want to count contention (try, then fall back to Lock) or avoid
+// blocking entirely.
 type TryLocker interface {
 	Locker
 	TryLock() bool
 }
+
+// StatLocker is the full contract of this package's lock types beyond
+// plain locking: registry lifecycle (Close) and per-lock load-control
+// counters (Stats). Code that manages pools of golc locks — kv's shard
+// latches, oltp's lock-table stripes — programs against this instead
+// of re-discovering the methods by type assertion.
+type StatLocker interface {
+	TryLocker
+	Close()
+	Stats() lcrt.LockStats
+}
+
+// Compile-time conformance: every lock type must keep satisfying the
+// package interfaces (and the sync types must keep satisfying the
+// plain ones), so an API break here fails the build, not a user.
+var (
+	_ StatLocker = (*Mutex)(nil)
+	_ StatLocker = (*RWMutex)(nil)
+	_ RWLocker   = (*RWMutex)(nil)
+
+	_ Locker    = (*sync.Mutex)(nil)
+	_ TryLocker = (*sync.Mutex)(nil)
+	_ RWLocker  = (*sync.RWMutex)(nil)
+	_ TryLocker = (*sync.RWMutex)(nil)
+)

@@ -41,8 +41,9 @@ func TestMutexMutualExclusion(t *testing.T) {
 	}
 }
 
-func TestSpinMutexMutualExclusion(t *testing.T) {
-	mu := NewSpinMutex()
+func TestSpinPolicyMutualExclusion(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := New("spin-mu", WithPolicy(Spin), WithRuntime(rt))
 	const workers, iters = 8, 5000
 	counter := 0
 	var wg sync.WaitGroup
@@ -507,8 +508,9 @@ func TestAdversarialTwoLocks(t *testing.T) {
 	}
 }
 
-func TestSpinRWMutex(t *testing.T) {
-	mu := NewSpinRWMutex()
+func TestSpinPolicyRWMutex(t *testing.T) {
+	rt := newTestRuntime(t, lcrt.Options{})
+	mu := NewRW("spin-rw", WithPolicy(Spin), WithRuntime(rt))
 	counter := 0
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -545,9 +547,10 @@ func TestTryLock(t *testing.T) {
 		mu   TryLocker
 	}{
 		{"Mutex", NewMutex(rt)},
-		{"SpinMutex", NewSpinMutex()},
+		{"Mutex/spin", New("try-spin", WithPolicy(Spin), WithRuntime(rt))},
+		{"Mutex/block", New("try-block", WithPolicy(Block), WithRuntime(rt))},
 		{"RWMutex", NewRWMutex(rt)},
-		{"SpinRWMutex", NewSpinRWMutex()},
+		{"RWMutex/spin", NewRW("try-spin-rw", WithPolicy(Spin), WithRuntime(rt))},
 		{"sync.Mutex", new(sync.Mutex)},
 		{"sync.RWMutex", new(sync.RWMutex)},
 	}

@@ -1,37 +1,101 @@
 package golc
 
 import (
+	"context"
 	"sync/atomic"
 
 	lcrt "repro/internal/golc/runtime"
 )
 
-// Mutex is a load-controlled spinlock for real Go programs: a TATAS
-// spinlock whose spinners watch the shared runtime's sleep slot buffer
-// and park when told the system is oversubscribed, exactly mirroring
-// the paper's augmented-spinlock client protocol (§3.1.2). The unlock
-// path wakes a parked waiter when none is left spinning, so a free
-// lock never idles until the safety timeout.
+// config collects the New/NewRW options.
+type config struct {
+	rt  *lcrt.Runtime
+	pol ContentionPolicy
+}
+
+// Option configures New and NewRW.
+type Option func(*config)
+
+// WithRuntime registers the lock with rt instead of the process-wide
+// Default runtime. Every lock registers with some runtime — load
+// control decisions are global, which is the point — even under
+// policies that never consult the controller (their census and stats
+// still flow through it).
+func WithRuntime(rt *lcrt.Runtime) Option { return func(c *config) { c.rt = rt } }
+
+// WithPolicy sets the lock's initial contention policy (default
+// LoadControlled); resolve names through PolicyByName. See
+// Mutex.SetPolicy / RWMutex.SetPolicy for runtime hot-swap.
+func WithPolicy(p ContentionPolicy) Option { return func(c *config) { c.pol = p } }
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.rt == nil {
+		c.rt = lcrt.Default()
+	}
+	if c.pol == nil {
+		c.pol = LoadControlled
+	}
+	return c
+}
+
+// Mutex is THE mutual-exclusion lock of this package: a TATAS lock
+// word whose entire wait side — spin cadence, spin-then-park
+// threshold, slot-pool parking, or none of the above — is owned by a
+// swappable ContentionPolicy. Under the LoadControlled policy it is
+// the paper's augmented spinlock (§3.1.2); under Spin it is the
+// uncontrolled baseline; under Block it is a spin-then-block lock on
+// the same slot pool. The unlock path always offers the unlock-side
+// wake (one atomic load when nothing is parked), so a free lock never
+// idles until the safety timeout regardless of policy.
 //
-// A Mutex must be created with NewMutex. Every Mutex registers with a
-// load-control Runtime — normally the process-wide one — because load
-// control decisions are global: that is the point.
+// A Mutex must be created with New (or the legacy constructors); it
+// registers with a load-control Runtime at construction.
 type Mutex struct {
 	state atomic.Int32
+	pol   atomic.Pointer[ContentionPolicy]
 	h     *lcrt.Handle
 }
 
-// NewMutex returns a mutex registered with rt (the process-wide
-// Default runtime when rt is nil).
+// New returns a mutex named for metrics, registered with the option's
+// runtime (default: the process-wide runtime) and waiting according to
+// the option's policy (default: LoadControlled).
+//
+//	mu := golc.New("kv/shard-007", golc.WithPolicy(golc.Spin), golc.WithRuntime(rt))
+func New(name string, opts ...Option) *Mutex {
+	c := buildConfig(opts)
+	m := &Mutex{h: c.rt.Register(name)}
+	m.pol.Store(&c.pol)
+	return m
+}
+
+// NewMutex returns a load-controlled mutex registered with rt (the
+// process-wide Default runtime when rt is nil).
+//
+// Deprecated: use New, which also names the lock and selects a policy.
 func NewMutex(rt *lcrt.Runtime) *Mutex { return NewNamedMutex(rt, "mutex") }
 
 // NewNamedMutex is NewMutex with a metrics name for the lock.
+//
+// Deprecated: use New.
 func NewNamedMutex(rt *lcrt.Runtime, name string) *Mutex {
-	if rt == nil {
-		rt = lcrt.Default()
-	}
-	return &Mutex{h: rt.Register(name)}
+	return New(name, WithRuntime(rt))
 }
+
+// Policy returns the lock's current contention policy.
+func (m *Mutex) Policy() ContentionPolicy { return *m.pol.Load() }
+
+// SetPolicy hot-swaps the lock's contention policy. New acquisition
+// attempts use p immediately; a waiter already inside the old policy's
+// Wait finishes its acquisition under the old policy (it re-reads
+// nothing mid-wait), so a flip under load completes as the standing
+// waiters drain — no acquisition is ever lost or woken incorrectly,
+// because all policies share the same lock word and park/wake
+// protocol.
+func (m *Mutex) SetPolicy(p ContentionPolicy) { m.pol.Store(&p) }
 
 // Close unregisters the mutex from its runtime's metrics registry. The
 // mutex stays usable; Close only removes it from snapshots. The
@@ -52,41 +116,39 @@ func (m *Mutex) TryLock() bool {
 	return m.state.CompareAndSwap(0, 1)
 }
 
-// Lock acquires the mutex.
+// Lock acquires the mutex, waiting per the current ContentionPolicy.
 func (m *Mutex) Lock() {
-	// Uncontended fast path.
+	// Uncontended fast path: identical under every policy.
 	if m.state.CompareAndSwap(0, 1) {
 		return
 	}
-	h := m.h
-	h.Spinning(1)
-	c := cadence{park: h.ParkThreshold()}
-	for {
-		// Test-and-test-and-set: wait for the line to go free first.
-		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
-			h.Spinning(-1)
-			h.NoteSpins(c.spins)
-			return
-		}
-		// Past the spin-then-park threshold, check the sleep slot
-		// buffer while polling (the paper's interleaved spin loop,
-		// §3.2.3); the no-openings case is three atomic loads. A
-		// successful claim re-checks the lock before parking: if the
-		// holder released (and saw our claim) in between, parking
-		// would strand the wake, so take the free lock instead.
-		if c.next() {
-			if t, ok := h.TryClaim(); ok {
-				if m.state.Load() == 0 {
-					t.Cancel()
-				} else {
-					t.Sleep()
-				}
-				// Restart the acquire as if we just arrived.
-				h.NoteSpins(c.spins)
-				c.spins = 0
-			}
-		}
+	// Background can never cancel, so a non-nil error here means the
+	// policy broke Wait's contract; returning would let the caller
+	// enter the critical section without the lock. Fail loudly.
+	if err := m.lockSlow(context.Background()); err != nil {
+		panic("golc: policy " + m.Policy().Name() + " abandoned an uncancellable Lock: " + err.Error())
 	}
+}
+
+// LockCtx is Lock with a cancellation route: if ctx is cancelled
+// before the lock is acquired — mid-spin or mid-park, per the policy —
+// it returns ctx.Err() with the lock not held. A nil error means the
+// lock is held exactly as after Lock.
+func (m *Mutex) LockCtx(ctx context.Context) error {
+	if m.state.CompareAndSwap(0, 1) {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.lockSlow(ctx)
+}
+
+func (m *Mutex) lockSlow(ctx context.Context) error {
+	return m.Policy().Wait(ctx, m.h, Acquire{
+		Try:  func() bool { return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) },
+		Free: func() bool { return m.state.Load() == 0 },
+	})
 }
 
 // Unlock releases the mutex, waking a parked waiter if no spinner is
@@ -96,36 +158,4 @@ func (m *Mutex) Unlock() {
 		panic("golc: unlock of unlocked mutex")
 	}
 	m.h.NoteUnlock()
-}
-
-// SpinMutex is the uncontrolled baseline: the same TATAS spinlock with
-// no load control (only Gosched cooperation).
-type SpinMutex struct {
-	state atomic.Int32
-}
-
-// NewSpinMutex returns an uncontrolled spinlock.
-func NewSpinMutex() *SpinMutex { return &SpinMutex{} }
-
-// TryLock acquires the spinlock if it is free, without spinning.
-func (m *SpinMutex) TryLock() bool {
-	return m.state.CompareAndSwap(0, 1)
-}
-
-// Lock acquires the spinlock.
-func (m *SpinMutex) Lock() {
-	c := cadence{park: noPark}
-	for {
-		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
-			return
-		}
-		c.next()
-	}
-}
-
-// Unlock releases the spinlock.
-func (m *SpinMutex) Unlock() {
-	if m.state.Swap(0) != 1 {
-		panic("golc: unlock of unlocked spin mutex")
-	}
 }

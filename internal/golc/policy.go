@@ -1,0 +1,257 @@
+package golc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	lcrt "repro/internal/golc/runtime"
+)
+
+// A ContentionPolicy owns the entire wait side of lock acquisition:
+// what a waiter does between failing the uncontended fast path and
+// holding the lock. The locks in this package (Mutex, RWMutex) are
+// pure state machines — an atomic word and a runtime Handle — and
+// delegate every spin, yield, park, and wake decision to their policy,
+// so the same lock can be spun on, blocked on, or load-controlled, and
+// can switch strategy at runtime (SetPolicy) without changing type.
+// This mirrors the paper's core thesis one level down: just as the
+// process-wide runtime decouples contention management from
+// scheduling, the policy decouples the wait strategy from the lock.
+//
+// Implementations must be safe for concurrent use by many waiters of
+// many locks: the built-ins are stateless values, and any per-waiter
+// state belongs on the Wait stack. Policies are identified by Name for
+// flag/HTTP selection (PolicyByName); custom policies join the same
+// registry via RegisterPolicy.
+type ContentionPolicy interface {
+	// Name is the policy's stable registry name ("spin", "block",
+	// "lc"), used by flags, lcserve's /policy endpoint, and stats.
+	Name() string
+
+	// Wait blocks the calling goroutine until a.Try succeeds (returns
+	// nil) or ctx is cancelled (returns ctx.Err(), with the lock not
+	// acquired and all census/gate state restored). Those are the ONLY
+	// legal outcomes: a Wait that returns non-nil under a ctx that was
+	// not cancelled breaks the lock (plain Lock has no error to
+	// return — it panics on such a policy rather than hand back an
+	// unheld lock). The caller has already failed one uncontended
+	// attempt. h is the lock's runtime handle: the policy is expected
+	// to keep the spinner census honest (Spinning/NoteSpins) and may
+	// claim sleep slots through it. A nil or never-cancellable ctx
+	// (context.Background) must cost nothing.
+	Wait(ctx context.Context, h *lcrt.Handle, a Acquire) error
+}
+
+// Acquire is the lock's side of one blocked acquisition: closures over
+// the lock's own atomic state, handed to the policy's Wait. Only Try
+// and Free are mandatory.
+type Acquire struct {
+	// Try makes one acquire attempt (for the TATAS locks here: a test
+	// then a CAS) and reports whether the lock is now held.
+	Try func() bool
+
+	// Free reports whether the lock looks acquirable right now. The
+	// policy must consult it after claiming a sleep slot and before
+	// sleeping: if the holder released in between (and saw the claim),
+	// parking would strand the unlock-side wake, so the policy cancels
+	// the claim and goes take the free lock instead.
+	Free func() bool
+
+	// PrePark, when non-nil, is called with the claimed ticket just
+	// before the policy sleeps, and PostPark after the sleep returns
+	// (always paired, even when the sleep was cancelled). They exist
+	// for gates a waiter must not hold while unconscious: the RWMutex
+	// writer drops its writer-preference claim in PrePark — waking a
+	// reader the doomed gate had stranded, via Ticket.NoteRelease —
+	// and re-raises it in PostPark.
+	PrePark  func(t lcrt.Ticket)
+	PostPark func()
+}
+
+// Built-in policies. All three run the same acquire loop (one TATAS
+// poll per iteration, scheduler yields on the shared cadence) and
+// differ only in whether and how they park:
+//
+//   - Spin never parks: the uncontrolled baseline, the paper's "what
+//     collapses under oversubscription" comparison.
+//   - Block parks whenever it can: a brief grace spin (short holds
+//     resolve in well under it), then an unconditional sleep-slot
+//     claim, relying on the unlock-side wake for handoff. This is the
+//     classic spin-then-block lock, built from the same slot pool.
+//   - LoadControlled parks when told to: waiters spin to the runtime's
+//     park threshold and then follow the controller's sleep target —
+//     the paper's augmented-spinlock client protocol (§3.1.2).
+var (
+	Spin           ContentionPolicy = spinPolicy{}
+	Block          ContentionPolicy = blockPolicy{}
+	LoadControlled ContentionPolicy = lcPolicy{}
+)
+
+// blockGraceSpins is Block's grace spin before its first park: long
+// enough that a briefly-held latch hands off without a sleep, short
+// enough that real convoys deschedule almost immediately.
+const blockGraceSpins = 128
+
+type spinPolicy struct{}
+
+func (spinPolicy) Name() string { return "spin" }
+
+func (spinPolicy) Wait(ctx context.Context, h *lcrt.Handle, a Acquire) error {
+	// park=0: the cadence fires every check interval, which here gates
+	// only the ctx poll — claim is nil, so the loop never parks.
+	return waitLoop(ctx, h, a, 0, nil)
+}
+
+type blockPolicy struct{}
+
+func (blockPolicy) Name() string { return "block" }
+
+func (blockPolicy) Wait(ctx context.Context, h *lcrt.Handle, a Acquire) error {
+	return waitLoop(ctx, h, a, blockGraceSpins, (*lcrt.Handle).ClaimForced)
+}
+
+type lcPolicy struct{}
+
+func (lcPolicy) Name() string { return "lc" }
+
+func (lcPolicy) Wait(ctx context.Context, h *lcrt.Handle, a Acquire) error {
+	return waitLoop(ctx, h, a, h.ParkThreshold(), (*lcrt.Handle).TryClaim)
+}
+
+// waitLoop is the shared acquire loop behind the built-in policies:
+// TATAS polling on the package spin cadence, a ctx check once per park
+// interval, and — when claim is non-nil and the waiter is past the
+// park threshold — the claim/re-check/sleep protocol every lock in
+// this package used to hand-roll. Custom policies are free to ignore
+// it and implement Wait from scratch.
+func waitLoop(ctx context.Context, h *lcrt.Handle, a Acquire, park int, claim func(*lcrt.Handle) (lcrt.Ticket, bool)) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	h.Spinning(1)
+	c := cadence{park: park}
+	for {
+		if a.Try() {
+			h.Spinning(-1)
+			h.NoteSpins(c.spins)
+			return nil
+		}
+		if !c.next() {
+			continue
+		}
+		// Once per park interval: cheap cancellation poll, then the
+		// park path.
+		if done != nil {
+			select {
+			case <-done:
+				h.Spinning(-1)
+				h.NoteSpins(c.spins)
+				return ctx.Err()
+			default:
+			}
+		}
+		if claim == nil {
+			continue
+		}
+		if t, ok := claim(h); ok {
+			// Re-check after the claim: if the lock went free in
+			// between, parking would strand the unlock-side wake.
+			if a.Free() {
+				t.Cancel()
+			} else {
+				if a.PrePark != nil {
+					a.PrePark(t)
+				}
+				err := t.SleepCtx(ctx)
+				if a.PostPark != nil {
+					a.PostPark()
+				}
+				if err != nil {
+					h.Spinning(-1)
+					h.NoteSpins(c.spins)
+					return err
+				}
+			}
+			h.NoteSpins(c.spins)
+			c.spins = 0
+		}
+	}
+}
+
+// The policy registry: names to policies, for flag/HTTP selection and
+// for iterating every registered policy in conformance tests.
+var (
+	policyMu  sync.RWMutex
+	policies  = map[string]ContentionPolicy{}
+	policyAka = map[string]string{
+		// Aliases accepted by PolicyByName, kept for the flag spellings
+		// older tools used (lcserve -mode, kv.LockMode names).
+		"load-control":   "lc",
+		"loadcontrolled": "lc",
+		"std":            "block",
+		"sync":           "block",
+	}
+)
+
+func init() {
+	for _, p := range []ContentionPolicy{Spin, Block, LoadControlled} {
+		if err := RegisterPolicy(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RegisterPolicy adds p to the registry under p.Name, making it
+// selectable by PolicyByName (lcbench -policy, lcserve POST /policy)
+// and enrolling it in the conformance suite's sweep. Empty and
+// duplicate names are rejected.
+func RegisterPolicy(p ContentionPolicy) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("golc: RegisterPolicy: empty policy name")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policies[name]; dup {
+		return fmt.Errorf("golc: RegisterPolicy: %q already registered", name)
+	}
+	if _, dup := policyAka[name]; dup {
+		return fmt.Errorf("golc: RegisterPolicy: %q is a reserved alias", name)
+	}
+	policies[name] = p
+	return nil
+}
+
+// PolicyByName resolves a registered policy (or one of the documented
+// aliases: "load-control"/"loadcontrolled" → lc, "std"/"sync" →
+// block). The error lists what is available.
+func PolicyByName(name string) (ContentionPolicy, error) {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	if canon, ok := policyAka[name]; ok {
+		name = canon
+	}
+	if p, ok := policies[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("golc: unknown contention policy %q (registered: %v)", name, policyNamesLocked())
+}
+
+// PolicyNames returns every registered policy name, sorted.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	return policyNamesLocked()
+}
+
+func policyNamesLocked() []string {
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,400 @@
+package golc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	lcrt "repro/internal/golc/runtime"
+)
+
+// sleepyPolicy is the conformance suite's user-defined toy policy:
+// poll-then-nap with a fixed backoff, no runtime parking at all. It
+// exists to prove the ContentionPolicy surface is implementable from
+// outside the built-in set and that RegisterPolicy enrolls it in
+// everything keyed off the registry.
+type sleepyPolicy struct{}
+
+func (sleepyPolicy) Name() string { return "test-sleepy" }
+
+func (sleepyPolicy) Wait(ctx context.Context, h *lcrt.Handle, a Acquire) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	h.Spinning(1)
+	defer h.Spinning(-1)
+	spins := 0
+	for {
+		if a.Try() {
+			h.NoteSpins(spins)
+			return nil
+		}
+		spins++
+		select {
+		case <-done:
+			h.NoteSpins(spins)
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+var registerSleepy = sync.OnceValue(func() error { return RegisterPolicy(sleepyPolicy{}) })
+
+// conformanceRuntime: a short park threshold and a constant-high load
+// signal so the lc policy genuinely parks during the suite, plus a
+// sleep timeout short enough that a lost wakeup converts into visible
+// TimeoutWakes rather than a hang.
+func conformanceRuntime(t *testing.T) *lcrt.Runtime {
+	t.Helper()
+	rt := lcrt.New(lcrt.Options{
+		Interval:       time.Millisecond,
+		SpinBeforePark: 64,
+		SleepTimeout:   500 * time.Millisecond,
+		LoadFunc:       func() int { return 8 },
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	return rt
+}
+
+// TestRegisterPolicy pins the registry surface: built-ins resolvable
+// by name and alias, duplicates and unknowns rejected, names sorted.
+func TestRegisterPolicy(t *testing.T) {
+	if err := registerSleepy(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]string{
+		"spin": "spin", "block": "block", "lc": "lc",
+		"load-control": "lc", "loadcontrolled": "lc",
+		"std": "block", "sync": "block",
+		"test-sleepy": "test-sleepy",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("PolicyByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("nonsense"); err == nil {
+		t.Fatal("PolicyByName(nonsense) did not error")
+	}
+	if err := RegisterPolicy(spinPolicy{}); err == nil {
+		t.Fatal("duplicate RegisterPolicy did not error")
+	}
+	if err := RegisterPolicy(LoadControlled); err == nil {
+		t.Fatal("re-registering a built-in did not error")
+	}
+	names := PolicyNames()
+	seen := map[string]bool{}
+	for i, n := range names {
+		seen[n] = true
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("PolicyNames not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"spin", "block", "lc", "test-sleepy"} {
+		if !seen[want] {
+			t.Fatalf("PolicyNames missing %q: %v", want, names)
+		}
+	}
+}
+
+// eachPolicy runs f once per registered policy (the three built-ins
+// plus the toy sleepy policy), each under its own runtime.
+func eachPolicy(t *testing.T, f func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy)) {
+	if err := registerSleepy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PolicyNames() {
+		pol, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			f(t, conformanceRuntime(t), pol)
+		})
+	}
+}
+
+// TestPolicyConformanceMutex: mutual exclusion under every registered
+// policy, with enough contention that parking policies actually park.
+func TestPolicyConformanceMutex(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		mu := New("conf-mu", WithPolicy(pol), WithRuntime(rt))
+		const workers, iters = 8, 2000
+		counter := 0
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < iters; j++ {
+					mu.Lock()
+					counter++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != workers*iters {
+			t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*iters)
+		}
+	})
+}
+
+// TestPolicyConformanceRWMutex: writer exclusion plus reader sharing
+// under every policy.
+func TestPolicyConformanceRWMutex(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		mu := NewRW("conf-rw", WithPolicy(pol), WithRuntime(rt))
+		var readers atomic.Int32
+		value := 0
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 1000; j++ {
+					mu.RLock()
+					readers.Add(1)
+					_ = value
+					readers.Add(-1)
+					mu.RUnlock()
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 500; j++ {
+					mu.Lock()
+					if r := readers.Load(); r != 0 {
+						panic(fmt.Sprintf("writer saw %d active readers", r))
+					}
+					value++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if value != 2000 {
+			t.Fatalf("value = %d, want 2000", value)
+		}
+	})
+}
+
+// TestPolicyConformanceTryLock: TryLock semantics are policy-free (a
+// failed probe touches nothing), but every policy's lock must expose
+// them identically.
+func TestPolicyConformanceTryLock(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		mu := New("conf-try", WithPolicy(pol), WithRuntime(rt))
+		if !mu.TryLock() {
+			t.Fatal("TryLock failed on a free lock")
+		}
+		if mu.TryLock() {
+			t.Fatal("TryLock succeeded on a held lock")
+		}
+		if st := mu.Stats(); st.Spins != 0 || st.Blocks != 0 {
+			t.Fatalf("failed TryLock touched runtime state: %+v", st)
+		}
+		mu.Unlock()
+		if !mu.TryLock() {
+			t.Fatal("TryLock failed after Unlock")
+		}
+		mu.Unlock()
+	})
+}
+
+// TestPolicyConformanceLockCtx: a waiter blocked mid-wait — mid-park
+// for the parking policies — must return ctx.Err() promptly on
+// cancellation, leave the lock usable, and restore the census.
+func TestPolicyConformanceLockCtx(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		for _, variant := range []struct {
+			name    string
+			lockCtx func(mu *RWMutex, ctx context.Context) error
+		}{
+			{"LockCtx", func(mu *RWMutex, ctx context.Context) error { return mu.LockCtx(ctx) }},
+			{"RLockCtx", func(mu *RWMutex, ctx context.Context) error { return mu.RLockCtx(ctx) }},
+		} {
+			t.Run(variant.name, func(t *testing.T) {
+				mu := NewRW("conf-ctx", WithPolicy(pol), WithRuntime(rt))
+				mu.Lock() // readers and writers both blocked
+				ctx, cancel := context.WithCancel(context.Background())
+				errc := make(chan error, 1)
+				go func() { errc <- variant.lockCtx(mu, ctx) }()
+				// Wait until the waiter is visibly mid-wait (spinning or
+				// parked) before cancelling: that is the case that used
+				// to have no exit.
+				deadline := time.Now().Add(5 * time.Second)
+				for {
+					if st := mu.Stats(); st.SpinningNow > 0 || st.SleepingNow > 0 {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatal("waiter never started waiting")
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				cancel()
+				select {
+				case err := <-errc:
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("LockCtx = %v, want context.Canceled", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("cancelled waiter never returned: %+v", mu.Stats())
+				}
+				if st := mu.Stats(); st.SpinningNow != 0 || st.SleepingNow != 0 {
+					t.Fatalf("census not restored after cancellation: %+v", st)
+				}
+				// The lock must be fully usable afterwards.
+				mu.Unlock()
+				if err := mu.LockCtx(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				mu.Unlock()
+				mu.RLock()
+				mu.RUnlock()
+			})
+		}
+	})
+}
+
+// TestPolicyConformanceNoLostWakeup: a waiter that commits to waiting
+// on a held lock must acquire promptly after the release — whatever
+// the policy parked it on — far inside the 500ms safety timeout.
+func TestPolicyConformanceNoLostWakeup(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		mu := New("conf-wake", WithPolicy(pol), WithRuntime(rt))
+		mu.Lock()
+		acquired := make(chan struct{})
+		go func() {
+			mu.Lock()
+			mu.Unlock()
+			close(acquired)
+		}()
+		// Give parking policies time to actually park (the sleepy and
+		// spin policies just wait their cadence out).
+		deadline := time.Now().Add(time.Second)
+		for mu.Stats().SpinningNow == 0 && mu.Stats().SleepingNow == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never showed up")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		time.Sleep(10 * time.Millisecond)
+		start := time.Now()
+		mu.Unlock()
+		select {
+		case <-acquired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter stranded after unlock: %+v", mu.Stats())
+		}
+		if handoff := time.Since(start); handoff > 2*time.Second {
+			t.Fatalf("handoff took %v", handoff)
+		}
+	})
+}
+
+// TestPolicyConformanceStatsMonotonic: per-lock counters are
+// cumulative and must never decrease while a workload hammers the
+// lock.
+func TestPolicyConformanceStatsMonotonic(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		mu := New("conf-stats", WithPolicy(pol), WithRuntime(rt))
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					mu.Lock()
+					busy := time.Now().Add(time.Microsecond)
+					for time.Now().Before(busy) {
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		var prev lcrt.LockStats
+		for i := 0; i < 50; i++ {
+			st := mu.Stats()
+			if st.Spins < prev.Spins || st.Blocks < prev.Blocks ||
+				st.ControllerWakes < prev.ControllerWakes ||
+				st.TimeoutWakes < prev.TimeoutWakes ||
+				st.UnlockWakes < prev.UnlockWakes {
+				t.Fatalf("counters went backwards: %+v -> %+v", prev, st)
+			}
+			prev = st
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// TestPolicyHotSwap flips a contended lock between every pair of
+// registered policies while workers hammer it: no lost update, no
+// stranded waiter, and the getter reports the last policy set.
+func TestPolicyHotSwap(t *testing.T) {
+	if err := registerSleepy(); err != nil {
+		t.Fatal(err)
+	}
+	rt := conformanceRuntime(t)
+	mu := New("swap", WithPolicy(Spin), WithRuntime(rt))
+	var counter atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				counter.Add(1)
+				mu.Unlock()
+			}
+		}()
+	}
+	for round := 0; round < 3; round++ {
+		for _, name := range PolicyNames() {
+			p, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu.SetPolicy(p)
+			if got := mu.Policy().Name(); got != name {
+				t.Fatalf("Policy() = %q after SetPolicy(%q)", got, name)
+			}
+			before := counter.Load()
+			deadline := time.Now().Add(5 * time.Second)
+			for counter.Load() == before {
+				if time.Now().After(deadline) {
+					t.Fatalf("no progress under %q after hot-swap", name)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

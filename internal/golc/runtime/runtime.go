@@ -38,6 +38,7 @@
 package runtime
 
 import (
+	"context"
 	"expvar"
 	goruntime "runtime"
 	"sort"
@@ -121,9 +122,11 @@ func (ls LockStats) Contention() uint64 { return ls.Blocks + ls.UnlockWakes }
 type Snapshot struct {
 	Updates         uint64
 	Claims          uint64
+	ForcedClaims    uint64 // unconditional parks (ClaimForced: blocking policies)
 	ControllerWakes uint64
 	TimeoutWakes    uint64
 	UnlockWakes     uint64
+	CtxCancels      uint64 // parks abandoned by context cancellation
 	Cancels         uint64 // claims retired unused (lock freed before the park)
 	SlotRejects     uint64 // claims refused because no slot was free
 	Spinners        int
@@ -135,13 +138,21 @@ type Snapshot struct {
 
 // sleeper is one parked waiter: a channel closed by whichever wake path
 // (controller, unlock, timeout drain) gets there first. idx is its slot
-// in the pool; hpos is its position in its handle's parked list. Both
-// are maintained under Runtime.mu.
+// in the pool; hpos is its position in its handle's parked list. All
+// fields after ch are maintained under Runtime.mu. forced marks a claim
+// made through ClaimForced: it bypasses the sleep target and is
+// excluded from the S/W counters (the controller neither asked for it
+// nor may wake it — only the lock's own unlock, the safety timeout, a
+// context cancellation, or the Stop drain end it). gone flips when some
+// wake path detaches the sleeper, so racing paths settle who consumed
+// it.
 type sleeper struct {
-	ch   chan struct{}
-	idx  int
-	h    *Handle
-	hpos int
+	ch     chan struct{}
+	idx    int
+	h      *Handle
+	hpos   int
+	forced bool
+	gone   bool
 }
 
 // Runtime owns the controller goroutine, the load sensor, and the
@@ -176,13 +187,16 @@ type Runtime struct {
 
 	updates         atomic.Uint64
 	claims          atomic.Uint64
+	forcedClaims    atomic.Uint64
 	controllerWakes atomic.Uint64
 	timeoutWakes    atomic.Uint64
 	unlockWakes     atomic.Uint64
+	ctxCancels      atomic.Uint64
 	cancels         atomic.Uint64
 	slotRejects     atomic.Uint64
 
 	started  atomic.Bool
+	stopping atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -236,9 +250,13 @@ func (r *Runtime) Start() {
 	}()
 }
 
-// Stop terminates the controller and wakes every sleeper. Safe to call
-// more than once, and safe on a runtime that was never started.
+// Stop terminates the controller and wakes every sleeper — forced
+// parks included. Safe to call more than once, and safe on a runtime
+// that was never started. After Stop, new forced claims are refused
+// (their callers fall back to spinning), so no waiter can park on a
+// runtime with nobody left to wake it.
 func (r *Runtime) Stop() {
+	r.stopping.Store(true)
 	r.stopOnce.Do(func() { close(r.stop) })
 	if r.started.Load() {
 		<-r.done
@@ -290,9 +308,11 @@ func (r *Runtime) Snapshot() Snapshot {
 	snap := Snapshot{
 		Updates:         r.updates.Load(),
 		Claims:          r.claims.Load(),
+		ForcedClaims:    r.forcedClaims.Load(),
 		ControllerWakes: r.controllerWakes.Load(),
 		TimeoutWakes:    r.timeoutWakes.Load(),
 		UnlockWakes:     r.unlockWakes.Load(),
+		CtxCancels:      r.ctxCancels.Load(),
 		Cancels:         r.cancels.Load(),
 		SlotRejects:     r.slotRejects.Load(),
 		Spinners:        int(r.spinners.Load()),
@@ -381,7 +401,11 @@ func (r *Runtime) setTarget(t int) {
 		// slot insert under mu before a wakeOne scan (which then
 		// finds it) or fails its target re-check under mu. There is
 		// no herd to avoid — at target zero every sleeper must wake.
-		for r.wakeOne() {
+		// Forced sleepers are drained only when the runtime is
+		// stopping: a routine target-zero tick must not turn blocking
+		// policies into 2ms polls.
+		drain := r.stopping.Load()
+		for r.wakeOne(drain) {
 		}
 		return
 	}
@@ -392,7 +416,7 @@ func (r *Runtime) setTarget(t int) {
 	// is healed by the next controller tick.
 	excess := r.sleeping() - t
 	for i := 0; i < excess; i++ {
-		if !r.wakeOne() {
+		if !r.wakeOne(false) {
 			break
 		}
 	}
@@ -402,9 +426,10 @@ func (r *Runtime) setTarget(t int) {
 // list, reporting whether s was still attached (false means another
 // wake path already consumed it). Caller holds mu.
 func (r *Runtime) detach(s *sleeper) bool {
-	if r.slots[s.idx] != s {
+	if s.gone {
 		return false
 	}
+	s.gone = true
 	r.slots[s.idx] = nil
 	h := s.h
 	last := len(h.parked) - 1
@@ -417,18 +442,30 @@ func (r *Runtime) detach(s *sleeper) bool {
 	return true
 }
 
-// wakeOne scans for an occupied slot, clears it and signals the sleeper.
-func (r *Runtime) wakeOne() bool {
+// wakeOne scans for an occupied slot, clears it and signals the
+// sleeper. Forced sleepers are skipped unless drain is set (the Stop
+// drain): the controller never asked them to sleep, so it has no
+// business waking them early.
+func (r *Runtime) wakeOne(drain bool) bool {
 	r.mu.Lock()
 	n := len(r.slots)
 	for i := 0; i < n; i++ {
 		idx := (r.scan + i) % n
 		if s := r.slots[idx]; s != nil {
+			if s.forced && !drain {
+				continue
+			}
 			r.detach(s)
 			r.scan = (idx + 1) % n
 			r.mu.Unlock()
-			r.controllerWakes.Add(1)
-			s.h.controllerWakes.Add(1)
+			// A drained forced sleeper is shutdown bookkeeping, not a
+			// controller decision: counting it as a ControllerWakes
+			// would contradict the forced-claim semantics ("the
+			// controller may not wake it") and skew the wake split.
+			if !s.forced {
+				r.controllerWakes.Add(1)
+				s.h.controllerWakes.Add(1)
+			}
 			close(s.ch)
 			return true
 		}
@@ -467,21 +504,34 @@ func (r *Runtime) wakeHandle(h *Handle, except *sleeper) bool {
 	return true
 }
 
-// trySleep attempts the spinner-side slot claim for h. It returns nil
-// when the target leaves no openings (the common fast path: three
-// atomic loads). The physical slot is found by scanning from the claim
-// cursor, so holes left by out-of-order wakes are always usable. With
-// the target capped at the pool size, occupied slots never exceed the
-// sleeping population and an admitted claim always places; the
-// SlotRejects branch is a tripwire for protocol bugs (and for tests
-// that force the target past the cap), not a state normal operation
-// reaches.
-func (r *Runtime) trySleep(h *Handle) *sleeper {
-	if int64(r.sleeping()) >= r.target.Load() {
+// trySleep attempts the spinner-side slot claim for h. In the normal
+// (voluntary) form it returns nil when the target leaves no openings
+// (the common fast path: three atomic loads). The physical slot is
+// found by scanning from the claim cursor, so holes left by
+// out-of-order wakes are always usable. With the target capped at the
+// pool size, occupied voluntary slots never exceed the sleeping
+// population; the SlotRejects branch is a tripwire for protocol bugs
+// plus the one honest way forced claims can fail (a blocking policy
+// can fill the pool past the target, since its claims are
+// unconditional).
+//
+// The forced form (blocking policies) skips the target test entirely:
+// the waiter parks because its policy always parks, not because the
+// controller asked. Forced claims stay out of the S/W counters — the
+// controller's sleeping population is only what it ordered asleep —
+// and are refused once the runtime is stopping, so a late parker
+// cannot miss the Stop drain.
+func (r *Runtime) trySleep(h *Handle, forced bool) *sleeper {
+	if !forced && int64(r.sleeping()) >= r.target.Load() {
 		return nil
 	}
 	r.mu.Lock()
-	if int64(r.sleeping()) >= r.target.Load() {
+	if forced {
+		if r.stopping.Load() {
+			r.mu.Unlock()
+			return nil
+		}
+	} else if int64(r.sleeping()) >= r.target.Load() {
 		r.mu.Unlock()
 		return nil
 	}
@@ -499,45 +549,80 @@ func (r *Runtime) trySleep(h *Handle) *sleeper {
 		return nil
 	}
 	r.place = (idx + 1) % n
-	s := &sleeper{ch: make(chan struct{}), idx: idx, h: h}
+	s := &sleeper{ch: make(chan struct{}), idx: idx, h: h, forced: forced}
 	r.slots[idx] = s
 	s.hpos = len(h.parked)
 	h.parked = append(h.parked, s)
 	h.sleepers.Add(1)
-	r.s.Add(1)
-	r.claims.Add(1)
+	if forced {
+		r.forcedClaims.Add(1)
+	} else {
+		r.s.Add(1)
+		r.claims.Add(1)
+	}
 	r.mu.Unlock()
 	return s
 }
 
-// sleep parks until a wake or the timeout, then retires from the
-// buffer (W++), clearing its own slot on the timeout path.
-func (r *Runtime) sleep(s *sleeper) {
+// sleep parks until a wake, the timeout, or ctx cancellation, then
+// retires from the buffer (W++ for voluntary claims), clearing its own
+// slot on the timeout and cancellation paths. A nil ctx (or one that
+// can never be cancelled) costs nothing extra. It returns nil for a
+// wake or timeout and ctx.Err() for a cancellation; on the
+// cancellation path, a wake that raced in and was consumed by this
+// sleeper is forwarded to the handle's next parked waiter, so an
+// abandoned park cannot eat an unlock-side handoff.
+func (r *Runtime) sleep(s *sleeper, ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	timer := time.NewTimer(r.opts.SleepTimeout)
+	var err error
 	select {
 	case <-s.ch:
 	case <-timer.C:
+	case <-done:
+		err = ctx.Err()
 	}
 	timer.Stop()
+	forward := false
 	r.mu.Lock()
 	if r.detach(s) {
-		r.timeoutWakes.Add(1)
-		s.h.timeoutWakes.Add(1)
+		if err != nil {
+			r.ctxCancels.Add(1)
+		} else {
+			r.timeoutWakes.Add(1)
+			s.h.timeoutWakes.Add(1)
+		}
+	} else if err != nil {
+		// Someone woke this sleeper and the cancellation won the
+		// select anyway: the wake must not be lost.
+		forward = true
 	}
-	r.w.Add(1)
+	if !s.forced {
+		r.w.Add(1)
+	}
 	r.mu.Unlock()
+	if forward {
+		r.wakeHandle(s.h, nil)
+	}
+	return err
 }
 
 // cancel retires a claim without sleeping on it: the lock turned out
 // to be free after the claim, so the waiter returns to acquiring. If a
 // wake consumed the slot first that wake is already accounted; either
-// way the claim retires (W++), keeping S/W balanced.
+// way the claim retires (W++ for voluntary claims), keeping S/W
+// balanced.
 func (r *Runtime) cancel(s *sleeper) {
 	r.mu.Lock()
 	if r.detach(s) {
 		r.cancels.Add(1)
 	}
-	r.w.Add(1)
+	if !s.forced {
+		r.w.Add(1)
+	}
 	r.mu.Unlock()
 }
 
@@ -650,7 +735,22 @@ type Ticket struct {
 // the spinner census (the waiter is committed to parking unless it
 // Cancels); Sleep and Cancel both rejoin it.
 func (h *Handle) TryClaim() (Ticket, bool) {
-	s := h.rt.trySleep(h)
+	return h.claim(false)
+}
+
+// ClaimForced claims a sleep slot unconditionally — no target test, no
+// S/W accounting — for policies that always park contended waiters
+// (golc's Block policy). A forced sleeper is woken only by the lock's
+// own unlock (NoteUnlock/WakeOne), the safety timeout, a context
+// cancellation, or the Stop drain; the controller ignores it. It fails
+// when the slot pool is physically full or the runtime is stopping —
+// callers fall back to spinning.
+func (h *Handle) ClaimForced() (Ticket, bool) {
+	return h.claim(true)
+}
+
+func (h *Handle) claim(forced bool) (Ticket, bool) {
+	s := h.rt.trySleep(h, forced)
 	if s == nil {
 		return Ticket{}, false
 	}
@@ -661,9 +761,19 @@ func (h *Handle) TryClaim() (Ticket, bool) {
 
 // Sleep parks on the claimed slot until a controller wake, an unlock
 // wake, or the safety timeout, then rejoins the spinner census.
-func (t Ticket) Sleep() {
-	t.h.rt.sleep(t.s)
+func (t Ticket) Sleep() { t.SleepCtx(nil) } //nolint:errcheck // nil ctx cannot err
+
+// SleepCtx is Sleep with a cancellation route: if ctx is cancelled
+// while parked, the park is abandoned promptly (any wake it had
+// already consumed is forwarded to the handle's next sleeper) and
+// ctx.Err() is returned. A nil ctx — or one whose Done channel is nil,
+// like context.Background() — never cancels and costs nothing extra.
+// Either way the waiter rejoins the spinner census before returning;
+// a cancelled caller is expected to leave its acquire loop itself.
+func (t Ticket) SleepCtx(ctx context.Context) error {
+	err := t.h.rt.sleep(t.s, ctx)
 	t.h.Spinning(1)
+	return err
 }
 
 // Cancel retires the claim without parking — the caller re-checked its

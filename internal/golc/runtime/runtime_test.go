@@ -60,12 +60,12 @@ func TestSleeperTimeoutPath(t *testing.T) {
 	// Don't start the controller: force a target manually and claim.
 	rt.setTarget(1)
 	h := rt.Register("timeout")
-	s := rt.trySleep(h)
+	s := rt.trySleep(h, false)
 	if s == nil {
 		t.Fatal("claim failed with open target")
 	}
 	start := time.Now()
-	rt.sleep(s)
+	rt.sleep(s, nil)
 	if time.Since(start) < 15*time.Millisecond {
 		t.Fatal("sleep returned before timeout without a wake")
 	}
@@ -82,13 +82,13 @@ func TestControllerWakePath(t *testing.T) {
 	rt := New(Options{SleepTimeout: 10 * time.Second})
 	rt.setTarget(1)
 	h := rt.Register("wake")
-	s := rt.trySleep(h)
+	s := rt.trySleep(h, false)
 	if s == nil {
 		t.Fatal("claim failed")
 	}
 	done := make(chan struct{})
 	go func() {
-		rt.sleep(s)
+		rt.sleep(s, nil)
 		close(done)
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -110,13 +110,13 @@ func TestControllerWakePath(t *testing.T) {
 func TestTrySleepRespectsTarget(t *testing.T) {
 	rt := New(Options{})
 	h := rt.Register("target")
-	if s := rt.trySleep(h); s != nil {
+	if s := rt.trySleep(h, false); s != nil {
 		t.Fatal("claim succeeded with zero target")
 	}
 	rt.setTarget(2)
-	s1 := rt.trySleep(h)
-	s2 := rt.trySleep(h)
-	s3 := rt.trySleep(h)
+	s1 := rt.trySleep(h, false)
+	s2 := rt.trySleep(h, false)
+	s3 := rt.trySleep(h, false)
 	if s1 == nil || s2 == nil {
 		t.Fatal("claims under target failed")
 	}
@@ -249,8 +249,8 @@ func TestTrySleepScansPastOccupiedSlots(t *testing.T) {
 	hA := rt.Register("a")
 	hB := rt.Register("b")
 	rt.setTarget(2)
-	sa := rt.trySleep(hA) // slot 0
-	sb := rt.trySleep(hB) // slot 1
+	sa := rt.trySleep(hA, false) // slot 0
+	sb := rt.trySleep(hB, false) // slot 1
 	if sa == nil || sb == nil {
 		t.Fatal("initial claims failed")
 	}
@@ -260,8 +260,8 @@ func TestTrySleepScansPastOccupiedSlots(t *testing.T) {
 	if !hB.WakeOne() {
 		t.Fatal("WakeOne found no sleeper for B")
 	}
-	rt.sleep(sb) // retires immediately: channel already closed
-	sc := rt.trySleep(hB)
+	rt.sleep(sb, nil) // retires immediately: channel already closed
+	sc := rt.trySleep(hB, false)
 	if sc == nil {
 		t.Fatalf("claim refused with a free slot in the pool: %+v", rt.Snapshot())
 	}
@@ -279,13 +279,13 @@ func TestSlotRejectMetric(t *testing.T) {
 	rt := New(Options{BufferCap: 2})
 	h := rt.Register("full")
 	rt.setTarget(2)
-	if rt.trySleep(h) == nil || rt.trySleep(h) == nil {
+	if rt.trySleep(h, false) == nil || rt.trySleep(h, false) == nil {
 		t.Fatal("claims under target failed")
 	}
 	// Both physical slots are occupied; raise the logical target past
 	// the physical population by hand so only placement can refuse.
 	rt.target.Store(3)
-	if s := rt.trySleep(h); s != nil {
+	if s := rt.trySleep(h, false); s != nil {
 		t.Fatal("claim succeeded with a full pool")
 	}
 	if rejects := rt.Snapshot().SlotRejects; rejects != 1 {
@@ -401,13 +401,13 @@ func TestNoteReleaseWakesOtherSleeper(t *testing.T) {
 
 	// An older sleeper exists: NoteRelease from the newer claim must
 	// wake the older one and leave its own slot parked.
-	other := rt.trySleep(h) // stands in for the stranded reader
+	other := rt.trySleep(h, false) // stands in for the stranded reader
 	if other == nil {
 		t.Fatal("second claim failed")
 	}
 	otherDone := make(chan struct{})
 	go func() {
-		rt.sleep(other)
+		rt.sleep(other, nil)
 		close(otherDone)
 	}()
 	waitFor(t, "both parked", func() bool { return rt.Snapshot().Sleeping == 2 })
@@ -446,7 +446,7 @@ func TestTicketCancel(t *testing.T) {
 		t.Fatalf("cancel was counted as a wake: %+v", snap)
 	}
 	// The slot must be reusable immediately.
-	if s := rt.trySleep(h); s == nil {
+	if s := rt.trySleep(h, false); s == nil {
 		t.Fatal("claim after cancel failed")
 	}
 }

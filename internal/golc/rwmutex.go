@@ -1,38 +1,61 @@
 package golc
 
 import (
+	"context"
 	"sync/atomic"
 
 	lcrt "repro/internal/golc/runtime"
 )
 
-// RWMutex is a load-controlled reader/writer spinlock. Readers share
-// the lock; a pending writer gates new readers (writer preference) so
-// writers cannot starve under a steady read stream. Both reader and
-// writer spin loops follow the same slot-buffer protocol as Mutex, so
-// every waiter — read or write — is governed by the shared runtime,
-// and both release paths (Unlock, and the RUnlock that drops the last
-// read hold) wake a parked waiter when no spinner remains.
+// RWMutex is the reader/writer counterpart of Mutex: readers share the
+// lock; a pending writer gates new readers (writer preference) so
+// writers cannot starve under a steady read stream. Like Mutex, the
+// whole wait side belongs to a swappable ContentionPolicy — both
+// reader and writer waits run the policy's loop, so every waiter of
+// every lock in the process is governed by the same runtime, whatever
+// its policy. Both release paths (Unlock, and the RUnlock that drops
+// the last read hold) offer the unlock-side wake.
 //
 // state encodes the lock: -1 while a writer holds it, otherwise the
 // reader count. wwait counts writers waiting (it gates new readers).
 type RWMutex struct {
 	state atomic.Int32
 	wwait atomic.Int32
+	pol   atomic.Pointer[ContentionPolicy]
 	h     *lcrt.Handle
 }
 
-// NewRWMutex returns a reader/writer lock registered with rt (the
-// process-wide Default runtime when rt is nil).
+// NewRW returns a reader/writer lock named for metrics, registered
+// with the option's runtime (default: the process-wide runtime) and
+// waiting according to the option's policy (default: LoadControlled).
+func NewRW(name string, opts ...Option) *RWMutex {
+	c := buildConfig(opts)
+	m := &RWMutex{h: c.rt.Register(name)}
+	m.pol.Store(&c.pol)
+	return m
+}
+
+// NewRWMutex returns a load-controlled reader/writer lock registered
+// with rt (the process-wide Default runtime when rt is nil).
+//
+// Deprecated: use NewRW, which also names the lock and selects a
+// policy.
 func NewRWMutex(rt *lcrt.Runtime) *RWMutex { return NewNamedRWMutex(rt, "rwmutex") }
 
 // NewNamedRWMutex is NewRWMutex with a metrics name for the lock.
+//
+// Deprecated: use NewRW.
 func NewNamedRWMutex(rt *lcrt.Runtime, name string) *RWMutex {
-	if rt == nil {
-		rt = lcrt.Default()
-	}
-	return &RWMutex{h: rt.Register(name)}
+	return NewRW(name, WithRuntime(rt))
 }
+
+// Policy returns the lock's current contention policy.
+func (m *RWMutex) Policy() ContentionPolicy { return *m.pol.Load() }
+
+// SetPolicy hot-swaps the lock's contention policy; semantics as for
+// Mutex.SetPolicy (new waits use p, standing waits drain under the old
+// policy).
+func (m *RWMutex) SetPolicy(p ContentionPolicy) { m.pol.Store(&p) }
 
 // Close unregisters the lock from its runtime's metrics registry. The
 // lock stays usable; Close only removes it from snapshots.
@@ -46,39 +69,45 @@ func (m *RWMutex) rAvailable() bool {
 	return m.wwait.Load() == 0 && m.state.Load() >= 0
 }
 
+// tryR makes one reader acquire attempt.
+func (m *RWMutex) tryR() bool {
+	if m.wwait.Load() != 0 {
+		return false
+	}
+	s := m.state.Load()
+	return s >= 0 && m.state.CompareAndSwap(s, s+1)
+}
+
 // RLock acquires the lock for reading.
 func (m *RWMutex) RLock() {
-	// Uncontended fast path.
-	if m.wwait.Load() == 0 {
-		if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
-			return
-		}
+	if m.tryR() {
+		return
 	}
-	h := m.h
-	h.Spinning(1)
-	c := cadence{park: h.ParkThreshold()}
-	for {
-		if m.wwait.Load() == 0 {
-			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
-				h.Spinning(-1)
-				h.NoteSpins(c.spins)
-				return
-			}
-		}
-		if c.next() {
-			if t, ok := h.TryClaim(); ok {
-				// Re-check after the claim: if the writer gating us
-				// released in between, parking would strand its wake.
-				if m.rAvailable() {
-					t.Cancel()
-				} else {
-					t.Sleep()
-				}
-				h.NoteSpins(c.spins)
-				c.spins = 0
-			}
-		}
+	// As in Mutex.Lock: Background cannot cancel, so an error is a
+	// policy contract breach and returning would fake a read hold.
+	if err := m.rlockSlow(context.Background()); err != nil {
+		panic("golc: policy " + m.Policy().Name() + " abandoned an uncancellable RLock: " + err.Error())
 	}
+}
+
+// RLockCtx is RLock with a cancellation route: if ctx is cancelled
+// before the read hold is acquired it returns ctx.Err() with the lock
+// not held.
+func (m *RWMutex) RLockCtx(ctx context.Context) error {
+	if m.tryR() {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.rlockSlow(ctx)
+}
+
+func (m *RWMutex) rlockSlow(ctx context.Context) error {
+	return m.Policy().Wait(ctx, m.h, Acquire{
+		Try:  m.tryR,
+		Free: m.rAvailable,
+	})
 }
 
 // RUnlock releases one read hold. Validation happens before the
@@ -132,58 +161,80 @@ func (m *RWMutex) Lock() {
 		m.wwait.Add(-1)
 		return
 	}
-	h := m.h
-	h.Spinning(1)
-	c := cadence{park: h.ParkThreshold()}
-	for {
-		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
-			m.wwait.Add(-1)
-			h.Spinning(-1)
-			h.NoteSpins(c.spins)
-			return
-		}
-		if c.next() {
-			if t, ok := h.TryClaim(); ok {
-				if m.state.Load() == 0 {
-					// Freed between the poll and the claim: take it
-					// instead of stranding the unlock-side wake.
-					t.Cancel()
-				} else {
-					// Drop the writer-preference claim only while
-					// actually asleep: a sleeping writer that kept
-					// wwait raised would gate every reader for up to
-					// the sleep timeout, while dropping it on failed
-					// claims would leak readers past a waiting writer
-					// every park check.
-					m.wwait.Add(-1)
-					// Dropping wwait releases the reader gate, so it
-					// needs the same wake hook as an unlock: a reader
-					// that committed to parking because it saw our
-					// wwait (while the last read hold's NoteUnlock was
-					// suppressed by a then-spinning waiter) would
-					// otherwise sleep on a lock nobody will release
-					// again. NoteRelease, not NoteUnlock: our own
-					// claim is the newest parked entry and must not
-					// soak up the wake.
-					if m.state.Load() >= 0 {
-						t.NoteRelease()
-					}
-					t.Sleep()
-					m.wwait.Add(1)
-				}
-				h.NoteSpins(c.spins)
-				c.spins = 0
-			}
-		}
+	if err := m.lockSlow(context.Background()); err != nil {
+		panic("golc: policy " + m.Policy().Name() + " abandoned an uncancellable Lock: " + err.Error())
 	}
 }
 
-// LockNested acquires the lock for writing WITHOUT ever parking, for
-// acquires made while the caller already holds another load-controlled
-// lock. A waiter that parked while holding a lock would stall every
-// waiter of that lock for up to the sleep timeout — the same reason the
-// paper's controller never blocks lock holders (holder wakeup, §3.2.2).
-// The spin is still counted in the census, so it remains visible load.
+// LockCtx is Lock with a cancellation route: if ctx is cancelled
+// before the write hold is acquired it returns ctx.Err() with the lock
+// not held, the writer-preference gate dropped, and any reader the
+// doomed gate had parked woken.
+func (m *RWMutex) LockCtx(ctx context.Context) error {
+	m.wwait.Add(1)
+	if m.state.CompareAndSwap(0, -1) {
+		m.wwait.Add(-1)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		m.abandonWrite()
+		return err
+	}
+	return m.lockSlow(ctx)
+}
+
+func (m *RWMutex) lockSlow(ctx context.Context) error {
+	err := m.Policy().Wait(ctx, m.h, Acquire{
+		Try: func() bool {
+			if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
+				m.wwait.Add(-1)
+				return true
+			}
+			return false
+		},
+		Free: func() bool { return m.state.Load() == 0 },
+		// The writer-preference claim is dropped only while actually
+		// asleep: a sleeping writer that kept wwait raised would gate
+		// every reader for up to the sleep timeout, while dropping it
+		// on failed claims would leak readers past a waiting writer
+		// every park check. Dropping wwait releases the reader gate,
+		// so it needs the same wake hook as an unlock: a reader that
+		// committed to parking because it saw our wwait (while the
+		// last read hold's NoteUnlock was suppressed by a then-
+		// spinning waiter) would otherwise sleep on a lock nobody will
+		// release again. NoteRelease, not NoteUnlock: our own claim is
+		// the newest parked entry and must not soak up the wake.
+		PrePark: func(t lcrt.Ticket) {
+			m.wwait.Add(-1)
+			if m.state.Load() >= 0 {
+				t.NoteRelease()
+			}
+		},
+		PostPark: func() { m.wwait.Add(1) },
+	})
+	if err != nil {
+		m.abandonWrite()
+	}
+	return err
+}
+
+// abandonWrite retires a cancelled write acquisition: the gate drops,
+// and — exactly as when a parking writer drops it — any reader the
+// gate had stranded into a park is woken.
+func (m *RWMutex) abandonWrite() {
+	m.wwait.Add(-1)
+	if m.state.Load() >= 0 {
+		m.h.NoteUnlock()
+	}
+}
+
+// LockNested acquires the lock for writing WITHOUT ever parking,
+// whatever the lock's policy, for acquires made while the caller
+// already holds another load-controlled lock. A waiter that parked
+// while holding a lock would stall every waiter of that lock for up to
+// the sleep timeout — the same reason the paper's controller never
+// blocks lock holders (holder wakeup, §3.2.2). The spin is still
+// counted in the census, so it remains visible load.
 func (m *RWMutex) LockNested() {
 	m.wwait.Add(1)
 	if m.state.CompareAndSwap(0, -1) {
@@ -211,66 +262,4 @@ func (m *RWMutex) Unlock() {
 		panic("golc: Unlock of RWMutex not held for writing")
 	}
 	m.h.NoteUnlock()
-}
-
-// SpinRWMutex is the uncontrolled baseline: the same reader/writer
-// spinlock with no load control (only Gosched cooperation).
-type SpinRWMutex struct {
-	state atomic.Int32
-	wwait atomic.Int32
-}
-
-// NewSpinRWMutex returns an uncontrolled reader/writer spinlock.
-func NewSpinRWMutex() *SpinRWMutex { return &SpinRWMutex{} }
-
-// RLock acquires the lock for reading.
-func (m *SpinRWMutex) RLock() {
-	c := cadence{park: noPark}
-	for {
-		if m.wwait.Load() == 0 {
-			if s := m.state.Load(); s >= 0 && m.state.CompareAndSwap(s, s+1) {
-				return
-			}
-		}
-		c.next()
-	}
-}
-
-// RUnlock releases one read hold (validating before decrementing, as
-// RWMutex.RUnlock does).
-func (m *SpinRWMutex) RUnlock() {
-	for {
-		s := m.state.Load()
-		if s <= 0 {
-			panic("golc: RUnlock of SpinRWMutex not held for reading")
-		}
-		if m.state.CompareAndSwap(s, s-1) {
-			return
-		}
-	}
-}
-
-// TryLock acquires the lock for writing if it is immediately free.
-func (m *SpinRWMutex) TryLock() bool {
-	return m.state.CompareAndSwap(0, -1)
-}
-
-// Lock acquires the lock for writing.
-func (m *SpinRWMutex) Lock() {
-	m.wwait.Add(1)
-	c := cadence{park: noPark}
-	for {
-		if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
-			m.wwait.Add(-1)
-			return
-		}
-		c.next()
-	}
-}
-
-// Unlock releases the write hold.
-func (m *SpinRWMutex) Unlock() {
-	if !m.state.CompareAndSwap(-1, 0) {
-		panic("golc: Unlock of SpinRWMutex not held for writing")
-	}
 }

@@ -22,23 +22,28 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/golc"
 	lcrt "repro/internal/golc/runtime"
 )
 
-// LockMode selects the latch implementation for every shard and stripe.
+// LockMode names a latch contention policy. Since the golc API
+// redesign every latch is the one policy-parameterized golc.RWMutex;
+// LockMode survives as the benchmark-facing selector that maps onto
+// the golc built-ins (Options.Policy overrides it directly).
 type LockMode int
 
 const (
-	// LoadControlled uses golc.RWMutex registered with a shared
-	// load-control runtime (the real deployment mode).
+	// LoadControlled waits under golc.LoadControlled: the real
+	// deployment mode, governed by the shared runtime's controller.
 	LoadControlled LockMode = iota
-	// Spin uses the uncontrolled spin baseline (golc.SpinRWMutex) —
-	// the paper's "what collapses under oversubscription" comparison.
+	// Spin waits under golc.Spin, the uncontrolled baseline — the
+	// paper's "what collapses under oversubscription" comparison.
 	Spin
-	// Std uses sync.RWMutex, the Go-native reference point.
+	// Std waits under golc.Block: spin-then-block, the stand-in for a
+	// conventional blocking latch (it replaced the old sync.RWMutex
+	// mode when the latch types unified).
 	Std
 )
 
@@ -55,6 +60,18 @@ func (m LockMode) String() string {
 	}
 }
 
+// policy maps the mode onto a golc built-in.
+func (m LockMode) policy() golc.ContentionPolicy {
+	switch m {
+	case Spin:
+		return golc.Spin
+	case Std:
+		return golc.Block
+	default:
+		return golc.LoadControlled
+	}
+}
+
 // Options configures a Store.
 type Options struct {
 	// Shards is the number of primary shards (default 16).
@@ -62,10 +79,14 @@ type Options struct {
 	// IndexStripes is the number of secondary-index stripes
 	// (default 8).
 	IndexStripes int
-	// Mode selects the latch implementation (default LoadControlled).
+	// Mode selects the latch contention policy by benchmark name
+	// (default LoadControlled). Ignored when Policy is set.
 	Mode LockMode
-	// Runtime is the load-control runtime latches register with when
-	// Mode is LoadControlled (default: the process-wide runtime).
+	// Policy, when non-nil, is the latch contention policy directly —
+	// any registered golc policy, not just the three Mode names.
+	Policy golc.ContentionPolicy
+	// Runtime is the load-control runtime every latch registers with
+	// (default: the process-wide runtime).
 	Runtime *lcrt.Runtime
 }
 
@@ -75,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IndexStripes <= 0 {
 		o.IndexStripes = 8
+	}
+	if o.Policy == nil {
+		o.Policy = o.Mode.policy()
 	}
 	return o
 }
@@ -87,42 +111,37 @@ type KV struct {
 
 // shard is one primary bucket: a latch and its rows.
 type shard struct {
-	mu    golc.RWLocker
+	mu    *golc.RWMutex
 	items map[string]string
 }
 
-// stripe is one secondary-index bucket: value -> set of keys.
-// lockNested is the write acquire used while a shard latch is held; it
-// is bound at construction to the latch's non-parking variant when one
-// exists (see New).
+// stripe is one secondary-index bucket: value -> set of keys. Stripe
+// write latches are taken while a shard latch is held, so their
+// acquire path is always RWMutex.LockNested (never parks — a parked
+// holder would stall every waiter of the shard for up to the sleep
+// timeout).
 type stripe struct {
-	mu         golc.RWLocker
-	lockNested func()
-	keys       map[string]map[string]struct{}
+	mu   *golc.RWMutex
+	keys map[string]map[string]struct{}
 }
 
 // Store is the sharded store. Create with New.
 type Store struct {
 	opts    Options
+	pol     atomic.Pointer[golc.ContentionPolicy]
 	shards  []*shard
 	stripes []*stripe
 }
 
-// New builds a store. With Mode == LoadControlled and a nil Runtime,
-// latches register with the process-wide default runtime.
+// New builds a store. With a nil Runtime, latches register with the
+// process-wide default runtime.
 func New(opts Options) *Store {
 	o := opts.withDefaults()
-	newLatch := func(name string) golc.RWLocker {
-		switch o.Mode {
-		case Spin:
-			return golc.NewSpinRWMutex()
-		case Std:
-			return new(sync.RWMutex)
-		default:
-			return golc.NewNamedRWMutex(o.Runtime, name)
-		}
-	}
 	s := &Store{opts: o}
+	s.pol.Store(&o.Policy)
+	newLatch := func(name string) *golc.RWMutex {
+		return golc.NewRW(name, golc.WithPolicy(o.Policy), golc.WithRuntime(o.Runtime))
+	}
 	for i := 0; i < o.Shards; i++ {
 		s.shards = append(s.shards, &shard{
 			mu:    newLatch(fmt.Sprintf("kv/shard-%03d", i)),
@@ -130,54 +149,54 @@ func New(opts Options) *Store {
 		})
 	}
 	for i := 0; i < o.IndexStripes; i++ {
-		st := &stripe{
+		s.stripes = append(s.stripes, &stripe{
 			mu:   newLatch(fmt.Sprintf("kv/stripe-%03d", i)),
 			keys: make(map[string]map[string]struct{}),
-		}
-		// Stripe latches are acquired under a shard latch, so the
-		// acquire must never park (a parked holder stalls every
-		// waiter of the shard for up to the sleep timeout — see
-		// golc.RWMutex.LockNested). Bind the non-parking variant
-		// here; the plain Lock of the Spin and Std modes never parks,
-		// so it is equally safe.
-		if nl, ok := st.mu.(interface{ LockNested() }); ok {
-			st.lockNested = nl.LockNested
-		} else {
-			st.lockNested = st.mu.Lock
-		}
-		s.stripes = append(s.stripes, st)
+		})
 	}
 	return s
 }
 
-// Close unregisters the store's latches from the load-control runtime
-// (a no-op in other modes). The store stays usable.
+// Close unregisters the store's latches from the load-control runtime.
+// The store stays usable.
 func (s *Store) Close() {
 	for _, sh := range s.shards {
-		if m, ok := sh.mu.(*golc.RWMutex); ok {
-			m.Close()
-		}
+		sh.mu.Close()
 	}
 	for _, st := range s.stripes {
-		if m, ok := st.mu.(*golc.RWMutex); ok {
-			m.Close()
-		}
+		st.mu.Close()
 	}
 }
 
+// SetPolicy hot-swaps the contention policy of every shard and stripe
+// latch (see golc.RWMutex.SetPolicy: new waits use the policy
+// immediately, standing waits drain under the old one). This is the
+// serving-layer flip an operator uses to move a live store from spin
+// to load-controlled latches under overload — lcserve exposes it as
+// POST /policy.
+func (s *Store) SetPolicy(p golc.ContentionPolicy) {
+	s.pol.Store(&p)
+	for _, sh := range s.shards {
+		sh.mu.SetPolicy(p)
+	}
+	for _, st := range s.stripes {
+		st.mu.SetPolicy(p)
+	}
+}
+
+// Policy returns the contention policy the store's latches currently
+// use (the last SetPolicy value, initially Options.Policy).
+func (s *Store) Policy() golc.ContentionPolicy { return *s.pol.Load() }
+
 // LatchStats sums the per-latch load-control counters across every
-// shard and index stripe (zero-valued in Spin and Std modes, which
-// register nothing with the runtime). The TimeoutWakes-vs-UnlockWakes
-// split is the serving-layer view of the wake path: timeout wakes mean
-// a latch sat free until the safety timeout; unlock wakes mean the
-// release handed it off immediately.
+// shard and index stripe. Every policy keeps the counters (spin-policy
+// latches count spins but never park, so their Blocks stay zero). The
+// TimeoutWakes-vs-UnlockWakes split is the serving-layer view of the
+// wake path: timeout wakes mean a latch sat free until the safety
+// timeout; unlock wakes mean the release handed it off immediately.
 func (s *Store) LatchStats() lcrt.LockStats {
 	agg := lcrt.LockStats{Name: "kv/all"}
-	add := func(mu golc.RWLocker) {
-		m, ok := mu.(*golc.RWMutex)
-		if !ok {
-			return
-		}
+	add := func(m *golc.RWMutex) {
 		ls := m.Stats()
 		agg.Spins += ls.Spins
 		agg.Blocks += ls.Blocks
@@ -344,7 +363,7 @@ func (s *Store) reindex(key, old string, hadOld bool, value string, hasNew bool)
 	}
 	sort.Ints(held)
 	for _, i := range held {
-		s.stripes[i].lockNested()
+		s.stripes[i].mu.LockNested()
 	}
 	if hadOld {
 		set := s.stripes[oi].keys[old]
@@ -443,5 +462,8 @@ func (s *Store) Len() int {
 // Shards returns the shard count (for routing tests and stats).
 func (s *Store) Shards() int { return len(s.shards) }
 
-// Mode returns the store's lock mode.
+// Mode returns the store's construction-time lock mode.
+//
+// Deprecated: Mode is only meaningful when the store was built through
+// Options.Mode; use Policy, which tracks hot-swaps too.
 func (s *Store) Mode() LockMode { return s.opts.Mode }

@@ -32,7 +32,10 @@ type DeadlockPolicy interface {
 
 	// onBlocked is called after w has been enqueued and the stripe
 	// latch released, with the blockers observed at enqueue time. It
-	// may abort waiters — including w itself — via lm.cancelWaiter.
+	// may abort waiters — including w itself — by cancelling their
+	// wait contexts (waiter.cancel); the victim's own goroutine then
+	// dequeues itself and reports AbortDeadlock, unless a grant won
+	// the race (in which case the cancellation is a no-op).
 	onBlocked(lm *lockManager, req *Txn, id ResourceID, w *waiter, blockers []*Txn)
 
 	// onWake is called exactly once per onBlocked, on req's own
@@ -81,19 +84,13 @@ func (waitDiePolicy) shouldDie(req *Txn, l *dbLock, goal Mode) bool {
 func (waitDiePolicy) onBlocked(*lockManager, *Txn, ResourceID, *waiter, []*Txn) {}
 func (waitDiePolicy) onWake(*Txn)                                               {}
 
-// waitRec locates one parked waiter so the detector can cancel it.
-type waitRec struct {
-	id ResourceID
-	w  *waiter
-}
-
 // detectPolicy is deadlock detection over an explicit waits-for graph:
 // every conflicting request waits (no age test), recording edges to
 // its blockers when it parks; the requester then runs a cycle check
 // on-block and the youngest transaction in any cycle found is aborted
 // (counted in Metrics.DetectedAborts). The victim may be the requester
 // itself or a transaction parked on some other stripe — the latter is
-// woken with an AbortDeadlock by cancelWaiter.
+// woken with an AbortDeadlock by cancelling its wait context.
 //
 // The on-block edge set — conflicting holders plus conflicting queued
 // waiters — is complete for this FIFO lock manager: a transaction can
@@ -108,7 +105,7 @@ type waitRec struct {
 type detectPolicy struct {
 	mu      sync.Mutex
 	edges   map[*Txn]map[*Txn]struct{} // waiter → its blockers
-	waiting map[*Txn]waitRec           // where each blocked txn is parked
+	waiting map[*Txn]*waiter           // each blocked txn's cancellation route
 }
 
 // NewDetectPolicy returns a waits-for-graph deadlock detector. The
@@ -116,7 +113,7 @@ type detectPolicy struct {
 func NewDetectPolicy() DeadlockPolicy {
 	return &detectPolicy{
 		edges:   make(map[*Txn]map[*Txn]struct{}),
-		waiting: make(map[*Txn]waitRec),
+		waiting: make(map[*Txn]*waiter),
 	}
 }
 
@@ -135,7 +132,7 @@ func (p *detectPolicy) onBlocked(lm *lockManager, req *Txn, id ResourceID, w *wa
 	for _, b := range blockers {
 		es[b] = struct{}{}
 	}
-	p.waiting[req] = waitRec{id: id, w: w}
+	p.waiting[req] = w
 	// The graph was acyclic before this block (every earlier block ran
 	// this same check), so any cycle passes through req. Kill victims
 	// until none remain: one block can close several cycles at once.
@@ -153,7 +150,7 @@ func (p *detectPolicy) onBlocked(lm *lockManager, req *Txn, id ResourceID, w *wa
 		// Remove the victim from the graph before cancelling so the
 		// next iteration (and concurrent blockers) see the cycle as
 		// already broken; its own onWake removal is then a no-op.
-		rec, parked := p.waiting[victim]
+		vw, parked := p.waiting[victim]
 		delete(p.edges, victim)
 		delete(p.waiting, victim)
 		if !parked {
@@ -161,13 +158,14 @@ func (p *detectPolicy) onBlocked(lm *lockManager, req *Txn, id ResourceID, w *wa
 			// its stale edges broke the cycle. Re-check.
 			continue
 		}
-		// cancelWaiter takes a stripe latch; never hold the graph
-		// mutex across that (graph mutex is leaf-only against latches).
-		p.mu.Unlock()
-		lm.cancelWaiter(rec.id, rec.w)
-		p.mu.Lock()
+		// The kill order is just a context cancellation: the victim's
+		// own goroutine dequeues itself and reports AbortDeadlock (or
+		// keeps a grant that raced in — then the cycle is broken by
+		// the grant instead). No latch is taken here, so the graph
+		// mutex can stay held throughout.
+		vw.cancel()
 		if victim == req {
-			// Our own waiter is now aborted and our edges are gone; no
+			// Our own wait is cancelled and our edges are gone; no
 			// further cycle can involve us.
 			break
 		}

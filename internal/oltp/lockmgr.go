@@ -1,13 +1,12 @@
 package oltp
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/golc"
 	lcrt "repro/internal/golc/runtime"
-	"repro/internal/kv"
 )
 
 // Mode is a hierarchical lock mode. The zero value ModeNone means "no
@@ -133,16 +132,20 @@ func RecordID(table string, part int, key string) ResourceID {
 }
 
 // waiter is one blocked logical lock request. ready is closed exactly
-// once — by the grant path after setting granted, or by cancelWaiter
-// after setting aborted, both under the stripe latch; the timeout path
-// re-checks both flags under the same latch, so the three outcomes
-// cannot race.
+// once, by the grant path after setting granted under the stripe
+// latch. Cancellation (the detector's victim path) is context-based:
+// each wait carries its own cancellable context, a policy aborts the
+// waiter by calling cancel, and the waiter's OWN goroutine — the only
+// place that ever dequeues it — re-checks granted under the stripe
+// latch before treating the wake as an abort, so a grant racing a
+// cancellation always wins and no bookkeeping happens off-goroutine.
 type waiter struct {
 	txn     *Txn
 	mode    Mode // the full target mode (lub of held and wanted)
 	ready   chan struct{}
 	granted bool
-	aborted bool // detector victim: wake with AbortDeadlock, not a grant
+	ctx     context.Context // done => a deadlock policy ordered this waiter to abort
+	cancel  context.CancelFunc
 }
 
 // dbLock is one logical lock: the granted group plus a FIFO wait
@@ -153,11 +156,12 @@ type dbLock struct {
 }
 
 // lmStripe is one slice of the lock table. The latch is the physical
-// contention point the paper cares about: in LoadControlled mode it is
-// a golc.Mutex registered with the shared runtime, so lock-manager
-// latching is governed by the same controller as every data latch.
+// contention point the paper cares about: a policy-parameterized
+// golc.Mutex registered with the shared runtime, so lock-manager
+// latching is governed exactly like every data latch — same runtime,
+// same swappable contention policy.
 type lmStripe struct {
-	latch golc.TryLocker
+	latch *golc.Mutex
 	locks map[ResourceID]*dbLock
 }
 
@@ -170,28 +174,19 @@ type lockManager struct {
 	m       *Metrics
 }
 
-func newLockManager(mode kv.LockMode, o Options, m *Metrics) *lockManager {
+func newLockManager(pol golc.ContentionPolicy, o Options, m *Metrics) *lockManager {
 	lm := &lockManager{timeout: o.WaitTimeout, policy: o.DeadlockPolicy, m: m}
-	newLatch := func(i int) golc.TryLocker {
-		switch mode {
-		case kv.Spin:
-			return golc.NewSpinMutex()
-		case kv.Std:
-			return new(sync.Mutex)
-		default:
-			return golc.NewNamedMutex(latchRuntime(o), fmt.Sprintf("oltp/lm-%03d", i))
-		}
-	}
 	for i := 0; i < o.LockStripes; i++ {
 		lm.stripes = append(lm.stripes, &lmStripe{
-			latch: newLatch(i),
+			latch: golc.New(fmt.Sprintf("oltp/lm-%03d", i),
+				golc.WithPolicy(pol), golc.WithRuntime(latchRuntime(o))),
 			locks: make(map[ResourceID]*dbLock),
 		})
 	}
 	return lm
 }
 
-// latchRuntime resolves the runtime for LoadControlled stripes without
+// latchRuntime resolves the runtime the stripes register with, without
 // touching the process-wide Default when a private one was given.
 func latchRuntime(o Options) *lcrt.Runtime {
 	if o.Runtime != nil {
@@ -202,9 +197,14 @@ func latchRuntime(o Options) *lcrt.Runtime {
 
 func (lm *lockManager) close() {
 	for _, st := range lm.stripes {
-		if mu, ok := st.latch.(*golc.Mutex); ok {
-			mu.Close()
-		}
+		st.latch.Close()
+	}
+}
+
+// setPolicy hot-swaps the contention policy of every stripe latch.
+func (lm *lockManager) setPolicy(p golc.ContentionPolicy) {
+	for _, st := range lm.stripes {
+		st.latch.SetPolicy(p)
 	}
 }
 
@@ -322,43 +322,46 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	// Safe (or allowed) to wait. The holders entry (for an upgrade)
 	// keeps its current mode while we wait — we still hold that. The
 	// blockers snapshot (the detector's wait edges) must be taken
-	// under the latch, before the queue can shift.
+	// under the latch, before the queue can shift. The wait carries
+	// its own cancellable context: that is the deadlock policies'
+	// victim route (w.cancel wakes us with an abort order), the same
+	// shape golc's LockCtx gives physical waiters.
 	blockers := blockersOf(l, txn, goal)
 	w := &waiter{txn: txn, mode: goal, ready: make(chan struct{})}
+	w.ctx, w.cancel = context.WithCancel(context.Background())
+	defer w.cancel() // release the context's resources on every path
 	l.waiters = append(l.waiters, w)
 	st.latch.Unlock()
 	lm.m.LockWaits.Add(1)
 	// The detector records wait edges and runs its cycle check here —
-	// possibly cancelling w itself, in which case ready is already
-	// closed when the select below runs.
+	// possibly cancelling w itself, in which case the wait below
+	// returns immediately.
 	lm.policy.onBlocked(lm, txn, id, w, blockers)
 
 	timer := time.NewTimer(lm.timeout)
 	select {
 	case <-w.ready:
+		// Only the grant path closes ready, so this wake needs no
+		// re-check (cancellations come in on the ctx arm now).
 		timer.Stop()
 		lm.policy.onWake(txn)
-		if w.aborted {
-			return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
-		}
 		txn.noteHeld(id, goal)
 		return nil
+	case <-w.ctx.Done():
 	case <-timer.C:
 	}
-	// Timed out — but a grant or a victim cancellation may have raced
-	// the timer. Both flags are only ever set under the stripe latch,
-	// so re-check there.
+	timer.Stop()
+	// Cancelled or timed out — but a grant may have raced either wake.
+	// Resolve under the stripe latch, where granted is set: a granted
+	// waiter has already left the queue, and a racing cancellation or
+	// timeout must not abort a transaction that is, in fact, holding
+	// the lock (the cycle the detector saw is broken either way).
 	lm.lock(st)
 	if w.granted {
 		st.latch.Unlock()
 		lm.policy.onWake(txn)
 		txn.noteHeld(id, goal)
 		return nil
-	}
-	if w.aborted {
-		st.latch.Unlock()
-		lm.policy.onWake(txn)
-		return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
 	}
 	for i, q := range l.waiters {
 		if q == w {
@@ -373,51 +376,15 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	lm.maybeFree(st, id, l)
 	st.latch.Unlock()
 	lm.policy.onWake(txn)
+	if w.ctx.Err() != nil {
+		// A policy ordered the abort. Checked before the timer so a
+		// cancellation that raced the timeout is credited to the
+		// detector that caused it, not the backstop.
+		lm.m.DetectedAborts.Add(1)
+		return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
+	}
 	lm.m.TimeoutAborts.Add(1)
 	return txn.noteAbort(&AbortError{Reason: AbortTimeout, Resource: id})
-}
-
-// cancelWaiter aborts one parked waiter — the detector's victim path.
-// The victim's pending acquire wakes and returns AbortDeadlock.
-// Reports whether the waiter was actually cancelled: false means a
-// grant (or another cancel) won the race under the stripe latch, in
-// which case the victim is no longer blocked and needs no abort.
-func (lm *lockManager) cancelWaiter(id ResourceID, w *waiter) bool {
-	st := lm.stripeFor(id)
-	lm.lock(st)
-	if w.granted || w.aborted {
-		st.latch.Unlock()
-		return false
-	}
-	l := st.locks[id]
-	found := false
-	if l != nil {
-		for i, q := range l.waiters {
-			if q == w {
-				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
-				found = true
-				break
-			}
-		}
-	}
-	if !found {
-		// The waiter already left the queue on its own — it timed out
-		// (and is about to report a timeout abort) between our reading
-		// the waits-for graph and taking this latch. That abort is not
-		// ours to claim: counting it as detected too would double-book
-		// one event under two metrics.
-		st.latch.Unlock()
-		return false
-	}
-	w.aborted = true
-	// The victim's departure can unblock the queue, exactly as on the
-	// timeout path.
-	grant(l)
-	lm.maybeFree(st, id, l)
-	close(w.ready)
-	st.latch.Unlock()
-	lm.m.DetectedAborts.Add(1)
-	return true
 }
 
 // grant hands the lock to the longest-waiting compatible prefix of the

@@ -17,9 +17,10 @@
 //     is exactly a hot shard latch in the store.
 //   - The lock table itself is guarded by striped latches that are
 //     golc primitives registered with the shared load-control runtime
-//     (in LoadControlled mode), so lock-manager latching — one of the
-//     big physical contention sources inside database engines — is
-//     governed by the same controller as the data-path latches.
+//     under the store's contention policy, so lock-manager latching —
+//     one of the big physical contention sources inside database
+//     engines — is governed exactly like the data-path latches, and
+//     hot-swaps with them (DB.SetLatchPolicy).
 //   - Logical waits block on a per-waiter channel, never on a latch:
 //     transactions hold locks for far too long for spinning to make
 //     sense, and a blocked transaction must not wedge the lock table.
@@ -65,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/golc"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 )
@@ -138,13 +140,14 @@ const DefaultMaxRetries = 100
 // Options.EscalationThreshold is left at its zero value.
 const DefaultEscalationThreshold = 64
 
-// Options configures a DB. The lock-table stripe latches always use
-// the store's own latch mode (kv.Store.Mode), so data-path and
-// lock-manager latches are governed alike — the comparison the
-// benchmarks make.
+// Options configures a DB. The lock-table stripe latches start under
+// the store's own contention policy (kv.Store.Policy), so data-path
+// and lock-manager latches are governed alike — the comparison the
+// benchmarks make; SetLatchPolicy and kv.Store.SetPolicy flip them
+// together at runtime.
 type Options struct {
 	// Runtime is the load-control runtime the stripe latches register
-	// with when the store is LoadControlled (default: the process-wide
+	// with, whatever their contention policy (default: the process-wide
 	// runtime).
 	Runtime *lcrt.Runtime
 	// DeadlockPolicy resolves logical lock conflicts (default:
@@ -249,8 +252,21 @@ type DB struct {
 func New(store *kv.Store, opts Options) *DB {
 	o := opts.withDefaults()
 	db := &DB{store: store, opts: o}
-	db.lm = newLockManager(store.Mode(), o, &db.m)
+	db.lm = newLockManager(store.Policy(), o, &db.m)
 	return db
+}
+
+// SetLatchPolicy hot-swaps the contention policy of the lock table's
+// stripe latches (the physical latches, not the logical
+// DeadlockPolicy). Pair it with kv.Store.SetPolicy so data-path and
+// lock-manager latches stay governed alike; lcserve's POST /policy
+// does both.
+func (db *DB) SetLatchPolicy(p golc.ContentionPolicy) { db.lm.setPolicy(p) }
+
+// LatchPolicyName reports the contention policy the DB's stripe
+// latches currently use.
+func (db *DB) LatchPolicyName() string {
+	return db.lm.stripes[0].latch.Policy().Name()
 }
 
 // Store returns the underlying kv store.
