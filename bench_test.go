@@ -153,6 +153,28 @@ func BenchmarkGolcUncontendedSpin(b *testing.B)  { benchGolcUncontendedPolicy(b,
 func BenchmarkGolcUncontendedBlock(b *testing.B) { benchGolcUncontendedPolicy(b, golc.Block) }
 func BenchmarkGolcUncontendedLC(b *testing.B)    { benchGolcUncontendedPolicy(b, golc.LoadControlled) }
 
+// benchGolcUncontendedObs is the flight-recorder overhead check:
+// uncontended Lock/Unlock with the recorder enabled (the default —
+// sampled hold stamps plus a per-acquire sequence bump) versus
+// disabled. The On/Off pair is recorded in BENCH_5.json; the
+// instrumented path must stay within 2% of the uninstrumented one.
+// lcbench -obscheck gates the same number in CI.
+func benchGolcUncontendedObs(b *testing.B, enabled bool) {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	rt.Recorder().SetEnabled(enabled)
+	mu := golc.New("bench-obs", golc.WithRuntime(rt))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		mu.Unlock() //nolint:staticcheck // empty critical section is the benchmark
+	}
+}
+
+func BenchmarkGolcUncontendedObsOn(b *testing.B)  { benchGolcUncontendedObs(b, true) }
+func BenchmarkGolcUncontendedObsOff(b *testing.B) { benchGolcUncontendedObs(b, false) }
+
 // BenchmarkGolcRWUncontended: same check for the unified RWMutex
 // (write then read acquire per iteration).
 func BenchmarkGolcRWUncontended(b *testing.B) {

@@ -64,6 +64,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -73,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/golc"
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/oltp"
@@ -99,6 +101,9 @@ func main() {
 		swapFrom    = flag.String("swap-from", "spin", "with -swap-at: contention policy before the flip")
 		swapTo      = flag.String("swap-to", "lc", "with -swap-at: contention policy after the flip")
 		escalate    = flag.Int("escalate", 0, "with -oltp: record->partition escalation threshold (0: default 64; <0: disabled)")
+		traceFl     = flag.String("trace", "", "write the run's flight-recorder events as Chrome trace JSON (Perfetto) to this file; works in every mode, one trace process per phase/runtime")
+		obscheck    = flag.Bool("obscheck", false, "measure flight-recorder overhead on the uncontended Lock/Unlock path (enabled vs disabled) and exit 1 if it exceeds -obs-maxpct")
+		obsMaxPct   = flag.Float64("obs-maxpct", 5, "with -obscheck: maximum tolerated overhead in percent")
 		records     = flag.Int("records", 16, "with -workload conflict: records touched per transaction")
 		parts       = flag.Int("parts", 4, "with -workload conflict: partitions the key population spans")
 		spread      = flag.Int("spread", 0, "with -workload conflict: partitions ONE transaction's records span (0: all of -parts; 1 concentrates each transaction — the escalation shape)")
@@ -106,6 +111,11 @@ func main() {
 		writeFrac   = flag.Float64("writefrac", 0.5, "with -workload conflict: fraction of touches that read-modify-write")
 	)
 	flag.Parse()
+	tracePath = *traceFl
+	if *obscheck {
+		runObsCheck(*obsMaxPct)
+		return
+	}
 	if *oltpMode {
 		workers := 0 // auto: 4x the raised GOMAXPROCS
 		flag.Visit(func(f *flag.Flag) {
@@ -282,7 +292,12 @@ func main() {
 			float64(postOps)/postDur.Seconds(), postDur.Round(time.Millisecond), swapPol.Name())
 	}
 	var agg lcrt.Snapshot
-	for _, rt := range rts {
+	for i, rt := range rts {
+		if len(rts) == 1 {
+			tracePhase("hammer", rt)
+		} else {
+			tracePhase(fmt.Sprintf("hammer/rt-%02d", i), rt)
+		}
 		s := rt.Snapshot()
 		agg.Updates += s.Updates
 		agg.Claims += s.Claims
@@ -297,6 +312,103 @@ func main() {
 	fmt.Printf("controller(s)=%d: updates=%d claims=%d forced=%d wakes[controller=%d unlock=%d timeout=%d] cancels=%d locks=%d\n",
 		len(rts), agg.Updates, agg.Claims, agg.ForcedClaims, agg.ControllerWakes, agg.UnlockWakes, agg.TimeoutWakes,
 		agg.Cancels, agg.LocksRegistered)
+	writeTrace()
+}
+
+// tracePath is the -trace destination ("" = tracing off); traceProcs
+// accumulates one Chrome-trace process per phase/runtime until
+// writeTrace flushes them. lcbench is single-threaded outside its
+// worker pools, so plain package state suffices.
+var (
+	tracePath  string
+	traceProcs []obs.TraceProc
+)
+
+// tracePhase drains the flight-recorder ring of one phase's runtime
+// into the pending trace under its own process id, so phases that reuse
+// timestamps near zero (each runtime's clock starts at its creation)
+// land on separate Perfetto track groups instead of colliding.
+func tracePhase(name string, rt *lcrt.Runtime) {
+	if tracePath == "" {
+		return
+	}
+	traceProcs = append(traceProcs, obs.TraceProc{
+		Pid:    len(traceProcs) + 1,
+		Name:   name,
+		Events: rt.Recorder().Ring().Since(0),
+	})
+}
+
+// writeTrace flushes the collected phases to -trace as Chrome trace
+// JSON. Load the file at ui.perfetto.dev or chrome://tracing.
+func writeTrace() {
+	if tracePath == "" {
+		return
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcbench: -trace:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, p := range traceProcs {
+		n += len(p.Events)
+	}
+	if err := obs.WriteChromeTrace(f, traceProcs); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcbench: -trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %d events (%d process(es)) to %s\n", n, len(traceProcs), tracePath)
+}
+
+// runObsCheck is the CI overhead gate for the flight recorder: time the
+// uncontended Lock/Unlock fast path with the recorder enabled and
+// disabled (same binary, same loop — only Recorder.SetEnabled differs)
+// and fail if enabled costs more than maxPct percent extra. Fixed
+// iteration counts and best-of-3 keep scheduler noise from failing the
+// gate spuriously: the best round is the cleanest look each
+// configuration got at the hardware.
+func runObsCheck(maxPct float64) {
+	const (
+		iters  = 10_000_000
+		rounds = 3
+	)
+	measure := func(enabled bool) float64 {
+		rt := lcrt.New(lcrt.Options{})
+		rt.Start()
+		defer rt.Stop()
+		rt.Recorder().SetEnabled(enabled)
+		mu := golc.New("obscheck", golc.WithRuntime(rt))
+		best := math.MaxFloat64
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				mu.Lock()
+				mu.Unlock()
+			}
+			if ns := float64(time.Since(t0).Nanoseconds()) / iters; ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	// Disabled first, then enabled: if anything warms up (CPU clocks,
+	// branch predictors), the later configuration benefits — biasing
+	// AGAINST the overhead we are trying to bound.
+	off := measure(false)
+	on := measure(true)
+	pct := (on - off) / off * 100
+	fmt.Printf("obscheck: uncontended lock/unlock disabled=%.2fns/op enabled=%.2fns/op overhead=%+.2f%% (max %.1f%%)\n",
+		off, on, pct, maxPct)
+	if pct > maxPct {
+		fmt.Fprintln(os.Stderr, "lcbench: flight-recorder overhead exceeds the budget")
+		os.Exit(1)
+	}
 }
 
 // runAdversarial is the stranded-lock scenario: hotWorkers goroutines
@@ -394,7 +506,9 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 	wg.Wait()
 	snap := rt.Snapshot()
 	cs := cold.Stats()
+	tracePhase("adversarial", rt)
 	rt.Stop()
+	defer writeTrace()
 
 	mode := "unlock-wake"
 	if noWake {
@@ -446,6 +560,10 @@ type oltpResult struct {
 	entriesAvg float64 // mean of the samples
 	metrics    oltp.MetricsSnapshot
 	snap       *lcrt.Snapshot
+	// hist holds the flight recorder's commit-latency digest over the
+	// measurement window — the cross-check that the histograms agree
+	// with the directly sampled percentiles above.
+	hist obs.HistSummary
 	// Hot-swap scenario only: commit/s in the windows before and
 	// after the SetPolicy flip.
 	preRate, postRate float64
@@ -498,6 +616,7 @@ func runOLTP(cfg oltpConfig) {
 		if r.preRate > 0 {
 			fmt.Printf("after/before commit throughput: %.2fx\n", r.postRate/r.preRate)
 		}
+		writeTrace()
 		return
 	}
 
@@ -530,6 +649,7 @@ func runOLTP(cfg oltpConfig) {
 	} else {
 		fmt.Println("\nresult: WARNING — spin outperformed load control on this machine/configuration.")
 	}
+	writeTrace()
 }
 
 func escalationLabel(th int) string {
@@ -657,6 +777,7 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 	measuring.Store(true)
 	t0 := time.Now()
 	m0 := db.Metrics()
+	h0 := db.CommitLatency() // hist baseline: exclude warmup commits
 	res := oltpResult{label: label}
 	if cfg.swapAt > 0 {
 		time.Sleep(cfg.swapAt)
@@ -676,6 +797,8 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 	}
 	measuring.Store(false)
 	m1 := db.Metrics()
+	ch := histDelta(db.CommitLatency(), h0)
+	res.hist = ch.Summary()
 	elapsed := time.Since(t0)
 	close(stop)
 	wg.Wait()
@@ -702,6 +825,7 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 	}
 	snap := rt.Snapshot()
 	res.snap = &snap
+	tracePhase("oltp/"+label, rt)
 	rt.Stop()
 	// Quiescent check: with every worker stopped, strict 2PL demands an
 	// empty lock table under either policy — leftovers are leaks.
@@ -715,10 +839,29 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 		label, res.rate, res.p50, res.p99,
 		m1.WaitDieAborts, m1.DetectedAborts, m1.TimeoutAborts, m1.Retries, m1.Escalations,
 		m1.LockWaits, m1.LatchMisses, res.entriesMax, res.entriesAvg)
+	// The flight recorder's own view of the same window, from the
+	// commit-latency histogram: within a power-of-two bucket of the
+	// sampled p50/p99 above (that is the histogram's resolution).
+	fmt.Printf("phase %-14s hist: p50=%-10v p99=%-10v p999=%-10v (n=%d, log2 buckets)\n",
+		label, time.Duration(res.hist.P50Ns).Round(time.Microsecond),
+		time.Duration(res.hist.P99Ns).Round(time.Microsecond),
+		time.Duration(res.hist.P999Ns).Round(time.Microsecond), res.hist.Count)
 	if n := failures.Load(); n > 0 {
 		fmt.Printf("phase %-14s WARNING: %d transactions failed terminally (excluded from throughput)\n", label, n)
 	}
 	return res
+}
+
+// histDelta subtracts an earlier snapshot of the same histogram from a
+// later one, yielding the distribution of just the window between them
+// (Observe only ever adds, so the difference is well-defined).
+func histDelta(h1, h0 obs.HistSnapshot) obs.HistSnapshot {
+	for i := range h1.Buckets {
+		h1.Buckets[i] -= h0.Buckets[i]
+	}
+	h1.Count -= h0.Count
+	h1.Sum -= h0.Sum
+	return h1
 }
 
 // spinFor busy-waits for roughly d (calibrated coarsely; this is a

@@ -10,10 +10,23 @@
 //	curl localhost:8080/kv/user:0001
 //	curl 'localhost:8080/scan?prefix=user:&limit=10'
 //	curl 'localhost:8080/lookup?value=tier-1'
-//	curl localhost:8080/stats          # runtime + per-latch snapshot + top contended locks
+//	curl localhost:8080/stats          # runtime + per-latch snapshot + histogram percentiles
+//	curl localhost:8080/metrics        # Prometheus text format (histograms included)
+//	curl 'localhost:8080/trace?sec=2'  # 2s flight-recorder dump, Chrome trace JSON (Perfetto)
 //	curl localhost:8080/debug/vars     # expvar (includes "golc")
 //	curl localhost:8080/policy         # current latch contention policy
 //	curl -X POST -d lc localhost:8080/policy   # hot-swap every latch's policy
+//
+// With -pprof the standard net/http/pprof handlers mount under
+// /debug/pprof/. The mutex and block profiles there stay empty until
+// their samplers are on: -mutex-profile-fraction N calls
+// runtime.SetMutexProfileFraction(N) (1 = every contention event,
+// higher = 1-in-N sampling) and -block-profile-rate N calls
+// runtime.SetBlockProfileRate(N) (nanoseconds threshold; 1 = every
+// blocking event). Both samplers cost on hot paths — leave them off
+// unless you are actively profiling, or use modest rates (e.g. 100).
+// Note these profile Go's own sync primitives; golc latch waits live in
+// the flight recorder (/metrics, /trace), not the runtime profiles.
 //
 // The /policy endpoint is the operator's overload lever: POST any
 // registered golc contention policy name (spin, block, lc) and every
@@ -54,6 +67,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -63,6 +77,7 @@ import (
 	"time"
 
 	"repro/internal/golc"
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/oltp"
@@ -81,8 +96,21 @@ func main() {
 		keys     = flag.Int("keys", 512, "loadgen keyspace size")
 		procs    = flag.Int("procs", 0, "loadgen GOMAXPROCS — the OS-thread multiprogramming level (0: 8x NumCPU, the paper's overload regime; -1: leave as is)")
 		overHTTP = flag.Bool("http", false, "loadgen drives the real HTTP server instead of the store's data path directly")
+		pprofFl  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		mutexFr  = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for the pprof mutex profile (0: off, 1: every event)")
+		blockRt  = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate threshold in ns for the pprof block profile (0: off, 1: every event)")
 	)
 	flag.Parse()
+
+	// Profile samplers are process-wide and independent of -pprof (the
+	// profiles are also reachable through a debugger or expvar tooling),
+	// but they only pay off together.
+	if *mutexFr > 0 {
+		runtime.SetMutexProfileFraction(*mutexFr)
+	}
+	if *blockRt > 0 {
+		runtime.SetBlockProfileRate(*blockRt)
+	}
 
 	if *loadgen {
 		// The paper's pathology needs more OS threads than CPUs: a
@@ -117,7 +145,10 @@ func main() {
 	db := oltp.New(store, oltp.Options{MaxRetries: oltp.DefaultMaxRetries, DeadlockPolicy: policy})
 	fmt.Printf("lcserve: serving %d-shard kv (%s latches, %s deadlock policy) on %s\n",
 		store.Shards(), store.Policy().Name(), db.PolicyName(), *addr)
-	if err := http.ListenAndServe(*addr, newHandler(store, db)); err != nil {
+	// Serve mode registers every latch with the process-wide runtime
+	// (kv.Options.Runtime nil), so that is the runtime the handler's
+	// stats/metrics/trace endpoints observe.
+	if err := http.ListenAndServe(*addr, newHandler(store, db, lcrt.Default(), *pprofFl)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -224,8 +255,13 @@ func handleTxn(db *oltp.DB, w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(txnResponse{Committed: true, Results: results})
 }
 
-// newHandler builds the service mux for one store.
-func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
+// newHandler builds the service mux for one store. rt is the
+// load-control runtime the store's latches registered with — the
+// observability endpoints (/stats, /metrics, /trace) read it directly
+// rather than going through the process-wide expvar, so a handler built
+// over a private runtime (as each HTTP loadgen phase does) reports its
+// own runtime, not the Default one.
+func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
 		key := strings.TrimPrefix(r.URL.Path, "/kv/")
@@ -320,6 +356,7 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		snap := rt.Snapshot()
 		latches, err := json.Marshal(store.LatchStats())
 		if err != nil {
 			latches = []byte("null")
@@ -328,35 +365,183 @@ func newHandler(store *kv.Store, db *oltp.DB) http.Handler {
 		if err != nil {
 			oltpStats = []byte("null")
 		}
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"top_locks":%s,"runtime":%s}`+"\n",
+		hists, err := json.Marshal(histSummaries(&snap, db))
+		if err != nil {
+			hists = []byte("null")
+		}
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"hists":%s,"top_locks":%s,"runtime":%s}`+"\n",
 			store.Shards(), store.Len(), store.Policy().Name(), db.PolicyName(),
-			db.LockEntries(), latches, oltpStats,
-			topLocksJSON(), snapshotJSON())
+			db.LockEntries(), latches, oltpStats, hists,
+			topLocksJSON(snap), snapshotJSON(snap))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := writeProm(w, store, db, rt); err != nil {
+			// Headers are gone by now; all we can do is not pretend the
+			// scrape succeeded.
+			fmt.Fprintln(os.Stderr, "lcserve: /metrics:", err)
+		}
+	})
+	// Flight-recorder dump: collect sec seconds of lock events (park,
+	// wake, forced claim, policy swap, controller tick, txn aborts,
+	// deadlock victims, escalations ...) and return them as Chrome trace
+	// JSON — load the file in Perfetto (ui.perfetto.dev) or
+	// chrome://tracing. sec=0 skips the wait and dumps whatever the
+	// bounded ring currently holds.
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		sec := 1
+		if s := r.URL.Query().Get("sec"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 || n > 60 {
+				http.Error(w, "bad sec (want 0..60)", http.StatusBadRequest)
+				return
+			}
+			sec = n
+		}
+		rec := rt.Recorder()
+		var since int64
+		if sec > 0 {
+			since = rec.Now()
+			select {
+			case <-time.After(time.Duration(sec) * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="golc-trace.json"`)
+		if err := obs.WriteChromeTrace(w, []obs.TraceProc{
+			{Pid: 1, Name: "golc runtime", Events: rec.Ring().Since(since)},
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "lcserve: /trace:", err)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		// net/http/pprof registers only on http.DefaultServeMux, which
+		// this server never installs — mount its handlers explicitly.
+		// The mutex/block profiles need their samplers switched on; see
+		// the package comment (-mutex-profile-fraction,
+		// -block-profile-rate).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// topLocksJSON renders the N most contended locks of the process-wide
-// runtime (parks + unlock wakes, per runtime.Snapshot.TopContended) so
-// OLTP hot partitions show up by name instead of drowning in the
-// aggregate totals. Every policy registers its latches now, so this is
-// meaningful under spin and block too.
-func topLocksJSON() string {
-	b, err := json.Marshal(lcrt.Default().Snapshot().TopContended(5))
+// histSummaries digests every latency histogram the service keeps into
+// p50/p99/p999 summaries: runtime-wide wait/hold/park plus the oltp
+// layer's commit latency and logical-lock wait time. This is the
+// at-a-glance answer /stats owes an operator; the full bucket vectors
+// live in /metrics.
+func histSummaries(snap *lcrt.Snapshot, db *oltp.DB) map[string]obs.HistSummary {
+	commit, lockWait := db.CommitLatency(), db.LockWaitHist()
+	return map[string]obs.HistSummary{
+		"wait":      snap.WaitHist.Summary(),
+		"hold":      snap.HoldHist.Summary(),
+		"park":      snap.ParkHist.Summary(),
+		"commit":    commit.Summary(),
+		"lock_wait": lockWait.Summary(),
+	}
+}
+
+// topLocksJSON renders the N most contended locks of the handler's
+// runtime (parks + unlock wakes, per runtime.Snapshot.TopContended —
+// ties break by name, so the order is deterministic) so OLTP hot
+// partitions show up by name instead of drowning in the aggregate
+// totals. Every policy registers its latches now, so this is meaningful
+// under spin and block too.
+func topLocksJSON(snap lcrt.Snapshot) string {
+	b, err := json.Marshal(snap.TopContended(5))
 	if err != nil {
 		return "null"
 	}
 	return string(b)
 }
 
-// snapshotJSON renders the default runtime's snapshot via its expvar
-// (registered by the runtime itself), keeping one source of truth.
-func snapshotJSON() string {
-	if v := expvar.Get("golc"); v != nil {
-		return v.String()
+// snapshotJSON renders the runtime snapshot for /stats. Marshalling the
+// snapshot we already took (instead of reading the "golc" expvar, as
+// this helper once did) keeps the stats tied to the runtime actually
+// serving this handler's latches — the expvar only ever shows the
+// process-wide Default runtime, which is the wrong runtime for every
+// HTTP loadgen phase. On marshal failure the field degrades to an
+// explicit JSON null rather than corrupting the /stats document.
+func snapshotJSON(snap lcrt.Snapshot) string {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return "null"
 	}
-	return "null"
+	return string(b)
+}
+
+// writeProm renders the whole observability surface in Prometheus text
+// exposition format 0.0.4: runtime counters and gauges, the global
+// wait/hold/park latency histograms, per-lock histograms for the most
+// contended locks, and the oltp transaction counters plus its
+// commit-latency and logical-lock-wait histograms. Buckets are
+// log-scaled powers of two in seconds (see internal/golc/obs).
+func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime) error {
+	pw := obs.NewPromWriter(w)
+	snap := rt.Snapshot()
+
+	pw.Counter("golc_controller_updates_total", "Controller census ticks.", nil, snap.Updates)
+	pw.Counter("golc_claims_total", "Sleep-slot claims (parks).", nil, snap.Claims)
+	pw.Counter("golc_forced_claims_total", "Unconditional parks (blocking policies).", nil, snap.ForcedClaims)
+	wakes := []obs.Label{{Key: "kind", Value: "controller"}}
+	pw.Counter("golc_wakes_total", "Parked-waiter wakes by path.", wakes, snap.ControllerWakes)
+	wakes[0].Value = "unlock"
+	pw.Counter("golc_wakes_total", "", wakes, snap.UnlockWakes)
+	wakes[0].Value = "timeout"
+	pw.Counter("golc_wakes_total", "", wakes, snap.TimeoutWakes)
+	pw.Counter("golc_ctx_cancels_total", "Parks abandoned by context cancellation.", nil, snap.CtxCancels)
+	pw.Counter("golc_claim_cancels_total", "Claims retired unused (lock freed before the park).", nil, snap.Cancels)
+	pw.Counter("golc_slot_rejects_total", "Claims refused because no sleep slot was free.", nil, snap.SlotRejects)
+	pw.Gauge("golc_spinners", "Waiters spinning now.", nil, float64(snap.Spinners))
+	pw.Gauge("golc_sleeping", "Waiters parked now.", nil, float64(snap.Sleeping))
+	pw.Gauge("golc_spin_target", "Controller spinner target T.", nil, float64(snap.Target))
+	pw.Gauge("golc_locks_registered", "Locks registered with the runtime.", nil, float64(snap.LocksRegistered))
+
+	pw.Histogram("golc_wait_seconds", "Lock acquisition wait time (first failed acquire to grant), all locks.", nil, snap.WaitHist)
+	pw.Histogram("golc_hold_seconds", "Sampled lock hold time (acquire to release), all locks.", nil, snap.HoldHist)
+	pw.Histogram("golc_park_seconds", "Time waiters actually spent asleep in the slot pool.", nil, snap.ParkHist)
+
+	// Per-lock series for the hottest locks only: one series per
+	// registered lock would blow up scrape cardinality on stores with
+	// hundreds of shards. Families stay grouped (all waits, then all
+	// holds) as the text format requires.
+	top := snap.TopContended(8)
+	for _, ls := range top {
+		pw.Histogram("golc_lock_wait_seconds", "Per-lock acquisition wait time (top contended).",
+			[]obs.Label{{Key: "lock", Value: ls.Name}}, ls.Wait)
+	}
+	for _, ls := range top {
+		pw.Histogram("golc_lock_hold_seconds", "Per-lock sampled hold time (top contended).",
+			[]obs.Label{{Key: "lock", Value: ls.Name}}, ls.Hold)
+	}
+
+	m := db.Metrics()
+	pw.Counter("oltp_begins_total", "Transactions begun.", nil, m.Begins)
+	pw.Counter("oltp_commits_total", "Transactions committed.", nil, m.Commits)
+	pw.Counter("oltp_aborts_total", "Transactions aborted (all causes).", nil, m.Aborts)
+	pw.Counter("oltp_retries_total", "Run retries after kill orders.", nil, m.Retries)
+	abortKind := []obs.Label{{Key: "kind", Value: "waitdie"}}
+	pw.Counter("oltp_policy_aborts_total", "Lock-manager kill orders by cause.", abortKind, m.WaitDieAborts)
+	abortKind[0].Value = "deadlock"
+	pw.Counter("oltp_policy_aborts_total", "", abortKind, m.DetectedAborts)
+	abortKind[0].Value = "timeout"
+	pw.Counter("oltp_policy_aborts_total", "", abortKind, m.TimeoutAborts)
+	pw.Counter("oltp_escalations_total", "Record-to-partition lock escalations.", nil, m.Escalations)
+	pw.Counter("oltp_lock_waits_total", "Logical lock requests that blocked.", nil, m.LockWaits)
+	pw.Counter("oltp_latch_misses_total", "Lock-table latch TryLock misses (physical contention).", nil, m.LatchMisses)
+	pw.Gauge("oltp_lock_entries", "Live lock-table entries.", nil, float64(db.LockEntries()))
+	pw.Histogram("oltp_commit_seconds", "Committed-transaction latency, Run entry to commit.", nil, db.CommitLatency())
+	pw.Histogram("oltp_lock_wait_seconds", "Blocked logical lock acquisition wait time.", nil, db.LockWaitHist())
+
+	pw.Gauge("kv_keys", "Keys stored.", nil, float64(store.Len()))
+	return pw.Err()
 }
 
 // result is one loadgen phase's outcome.
@@ -430,7 +615,7 @@ func runPhase(pol golc.ContentionPolicy, shards, stripes, conns int, duration ti
 			os.Exit(1)
 		}
 		srv := &http.Server{Handler: newHandler(store, oltp.New(store,
-			oltp.Options{Runtime: rt, MaxRetries: oltp.DefaultMaxRetries}))}
+			oltp.Options{Runtime: rt, MaxRetries: oltp.DefaultMaxRetries}), rt, false)}
 		go srv.Serve(ln)
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        conns,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 )
 
@@ -58,6 +59,15 @@ type Mutex struct {
 	state atomic.Int32
 	pol   atomic.Pointer[ContentionPolicy]
 	h     *lcrt.Handle
+
+	// holdSeq counts acquisitions and holdStart carries the recorder
+	// stamp of a sampled hold (0 otherwise). Both are plain fields
+	// protected by the mutex itself: they are only touched between a
+	// successful acquire and the matching release, which the lock
+	// word's CAS/Swap pair orders. TryLock skips them (it must stay a
+	// single CAS), so TryLock-ed holds are simply never sampled.
+	holdSeq   uint64
+	holdStart int64
 }
 
 // New returns a mutex named for metrics, registered with the option's
@@ -95,7 +105,10 @@ func (m *Mutex) Policy() ContentionPolicy { return *m.pol.Load() }
 // waiters drain — no acquisition is ever lost or woken incorrectly,
 // because all policies share the same lock word and park/wake
 // protocol.
-func (m *Mutex) SetPolicy(p ContentionPolicy) { m.pol.Store(&p) }
+func (m *Mutex) SetPolicy(p ContentionPolicy) {
+	m.pol.Store(&p)
+	m.h.Obs().Event(obs.EvPolicySwap, m.h.Name(), p.Name(), 0)
+}
 
 // Close unregisters the mutex from its runtime's metrics registry. The
 // mutex stays usable; Close only removes it from snapshots. The
@@ -116,10 +129,20 @@ func (m *Mutex) TryLock() bool {
 	return m.state.CompareAndSwap(0, 1)
 }
 
+// stampHold marks an acquisition for hold-time measurement. Sampled
+// (obs.Recorder.HoldStamp): the unsampled common case is one counter
+// increment and one or two atomic loads, so the uncontended path
+// stays within the flight recorder's <2% overhead budget.
+func (m *Mutex) stampHold() {
+	m.holdSeq++
+	m.holdStart = m.h.HoldStamp(m.holdSeq)
+}
+
 // Lock acquires the mutex, waiting per the current ContentionPolicy.
 func (m *Mutex) Lock() {
 	// Uncontended fast path: identical under every policy.
 	if m.state.CompareAndSwap(0, 1) {
+		m.stampHold()
 		return
 	}
 	// Background can never cancel, so a non-nil error here means the
@@ -136,6 +159,7 @@ func (m *Mutex) Lock() {
 // lock is held exactly as after Lock.
 func (m *Mutex) LockCtx(ctx context.Context) error {
 	if m.state.CompareAndSwap(0, 1) {
+		m.stampHold()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -145,17 +169,41 @@ func (m *Mutex) LockCtx(ctx context.Context) error {
 }
 
 func (m *Mutex) lockSlow(ctx context.Context) error {
-	return m.Policy().Wait(ctx, m.h, Acquire{
+	// The wait-time seam: bracketing Wait here (not inside any policy)
+	// is what makes every policy's waits measurable for free.
+	start := m.h.WaitStart()
+	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try:  func() bool { return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) },
 		Free: func() bool { return m.state.Load() == 0 },
 	})
+	if err != nil {
+		if start != 0 {
+			m.h.Obs().Event(obs.EvCtxCancel, m.h.Name(), "", 0)
+		}
+		return err
+	}
+	if start != 0 {
+		m.h.RecordWait(start)
+	}
+	m.stampHold()
+	return nil
 }
 
 // Unlock releases the mutex, waking a parked waiter if no spinner is
-// left to take the lock (see runtime.Handle.NoteUnlock).
+// left to take the lock (see runtime.Handle.NoteUnlock). A sampled
+// hold is read (and cleared) before the release — after the Swap the
+// fields belong to the next holder — and recorded after it, off the
+// critical path.
 func (m *Mutex) Unlock() {
+	start := m.holdStart
+	if start != 0 {
+		m.holdStart = 0
+	}
 	if m.state.Swap(0) != 1 {
 		panic("golc: unlock of unlocked mutex")
+	}
+	if start != 0 {
+		m.h.RecordHold(start)
 	}
 	m.h.NoteUnlock()
 }

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket map: non-positive values to
+// bucket 0, 1ns to bucket 1, exact powers of two to the bucket they
+// open, power-of-two-minus-one to the bucket below, and huge values
+// clamped into the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1 << 10, 11},
+		{1<<10 - 1, 10},
+		{1<<46 - 1, NumBuckets - 2},
+		{1 << 46, NumBuckets - 1}, // first clamped value
+		{1 << 60, NumBuckets - 1},
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every value must land within its bucket's [lower, upper] range.
+	for _, ns := range []int64{1, 2, 3, 100, 999, 12345, 1e9, 1e15} {
+		b := bucketOf(ns)
+		if lo, hi := bucketLower(b), BucketUpper(b); ns < lo || ns > hi {
+			t.Errorf("ns=%d bucket %d bounds [%d,%d] exclude it", ns, b, lo, hi)
+		}
+	}
+	if got := BucketUpper(NumBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("overflow bucket upper = %d, want MaxInt64", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (run under -race in CI) and checks nothing is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	h := NewHistogram(4)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := uint64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	// Sum of 1..N.
+	n := uint64(goroutines * perG)
+	if want := n * (n + 1) / 2; s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != Count %d", total, s.Count)
+	}
+}
+
+// TestSnapshotUnderLoad takes snapshots while writers run: Count must
+// equal the bucket sum in every snapshot (the invariant Prometheus
+// exposition relies on) and must never go backwards.
+func TestSnapshotUnderLoad(t *testing.T) {
+	h := NewHistogram(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(i % 100000)
+				}
+			}
+		}()
+	}
+	var prev uint64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var total uint64
+		for _, c := range s.Buckets {
+			total += c
+		}
+		if total != s.Count {
+			t.Fatalf("snapshot %d: bucket total %d != Count %d", i, total, s.Count)
+		}
+		if s.Count < prev {
+			t.Fatalf("snapshot %d: Count went backwards (%d < %d)", i, s.Count, prev)
+		}
+		prev = s.Count
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMergeConsistency merges concurrent snapshots of two histograms
+// and checks the merge is exact once writers quiesce.
+func TestMergeConsistency(t *testing.T) {
+	a, b := NewHistogram(2), NewHistogram(2)
+	const n = 5000
+	var wg sync.WaitGroup
+	for _, h := range []*Histogram{a, b} {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for i := 1; i <= n; i++ {
+				h.Observe(int64(i))
+			}
+		}(h)
+	}
+	wg.Wait()
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Count != 2*n {
+		t.Fatalf("merged Count = %d, want %d", m.Count, 2*n)
+	}
+	if want := uint64(n) * (n + 1); m.Sum != want { // 2 * n(n+1)/2
+		t.Fatalf("merged Sum = %d, want %d", m.Sum, want)
+	}
+	// Merging must match observing everything into one histogram.
+	one := NewHistogram(1)
+	for i := 1; i <= n; i++ {
+		one.Observe(int64(i))
+		one.Observe(int64(i))
+	}
+	if o := one.Snapshot(); o.Buckets != m.Buckets {
+		t.Fatalf("merged buckets differ from single-histogram buckets")
+	}
+}
+
+// TestQuantile sanity-checks the interpolated quantiles against a
+// uniform population: estimates must land within the bucket (factor
+// of two) of the true value and be monotone in q.
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(1)
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.50, n / 2}, {0.99, n * 99 / 100}, {0.999, n * 999 / 1000}} {
+		got := s.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("Quantile(%v) = %d, want within 2x of %d", c.q, got, c.want)
+		}
+	}
+	if s.Quantile(0.5) > s.Quantile(0.99) || s.Quantile(0.99) > s.Quantile(0.999) {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d p999=%d",
+			s.Quantile(0.5), s.Quantile(0.99), s.Quantile(0.999))
+	}
+	var empty HistSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	sum := s.Summary()
+	if sum.Count != n || sum.P50Ns == 0 || sum.P99Ns == 0 || sum.P999Ns == 0 || sum.MeanNs == 0 {
+		t.Errorf("Summary incomplete: %+v", sum)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.Observe(i)
+		}
+	})
+}

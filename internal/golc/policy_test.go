@@ -347,6 +347,56 @@ func TestPolicyConformanceStatsMonotonic(t *testing.T) {
 	})
 }
 
+// TestPolicyConformanceWaitRecorded: the wait-time seam lives in the
+// lock's slow path, outside every policy, so each registered policy —
+// including the user-defined sleepy one, which never touches the
+// runtime's park path — must feed the per-lock and global wait
+// histograms on a contended acquisition, for free.
+func TestPolicyConformanceWaitRecorded(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, rt *lcrt.Runtime, pol ContentionPolicy) {
+		rt.Recorder().SetHoldSampling(1) // stamp every hold, not 1-in-256
+		mu := New("conf-wait-obs", WithPolicy(pol), WithRuntime(rt))
+		mu.Lock()
+		acquired := make(chan struct{})
+		go func() {
+			mu.Lock()
+			mu.Unlock()
+			close(acquired)
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for mu.Stats().SpinningNow == 0 && mu.Stats().SleepingNow == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never started waiting")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		time.Sleep(2 * time.Millisecond) // accumulate measurable wait time
+		mu.Unlock()
+		select {
+		case <-acquired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter stranded after unlock: %+v", mu.Stats())
+		}
+		st := mu.Stats()
+		if st.Wait.Count == 0 {
+			t.Fatalf("policy %s recorded no wait samples", pol.Name())
+		}
+		if st.Wait.Sum < uint64(time.Millisecond) {
+			t.Fatalf("policy %s wait sum = %v, want >= the ~2ms the waiter visibly waited",
+				pol.Name(), time.Duration(st.Wait.Sum))
+		}
+		// Sampling 1-in-1 makes every hold stamped: both the initial
+		// hold and the waiter's must have been recorded on release.
+		if st.Hold.Count < 2 {
+			t.Fatalf("policy %s recorded %d hold samples, want >= 2", pol.Name(), st.Hold.Count)
+		}
+		if snap := rt.Snapshot(); snap.WaitHist.Count < st.Wait.Count {
+			t.Fatalf("global wait histogram (%d) missing the lock's samples (%d)",
+				snap.WaitHist.Count, st.Wait.Count)
+		}
+	})
+}
+
 // TestPolicyHotSwap flips a contended lock between every pair of
 // registered policies while workers hammer it: no lost update, no
 // stranded waiter, and the getter reports the last policy set.

@@ -46,6 +46,8 @@ import (
 	"sync/atomic"
 	"time"
 	"weak"
+
+	"repro/internal/golc/obs"
 )
 
 // LoadFunc reports current excess load in runnable workers: the
@@ -79,6 +81,10 @@ type Options struct {
 	// controller wakes and the safety timeout — the paper's original
 	// design, kept as an ablation baseline for benchmarks.
 	DisableUnlockWake bool
+	// Recorder is the runtime's flight recorder (default: a fresh
+	// enabled obs.NewRecorder()). Share one only between runtimes whose
+	// telemetry should aggregate.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +103,9 @@ func (o Options) withDefaults() Options {
 	if o.SpinBeforePark == 0 {
 		o.SpinBeforePark = 4096
 	}
+	if o.Recorder == nil {
+		o.Recorder = obs.NewRecorder()
+	}
 	return o
 }
 
@@ -110,6 +119,12 @@ type LockStats struct {
 	UnlockWakes     uint64 // parks ended by the lock's own unlock
 	SpinningNow     int64  // waiters spinning at snapshot time
 	SleepingNow     int64  // waiters parked at snapshot time
+
+	// Wait and Hold are the lock's latency distributions: time from
+	// first failed acquire to acquisition, and (sampled, see
+	// obs.DefaultHoldSampling) time from acquisition to release.
+	Wait obs.HistSnapshot
+	Hold obs.HistSnapshot
 }
 
 // Contention is the sort key for "most contended": parks plus unlock
@@ -134,6 +149,13 @@ type Snapshot struct {
 	Target          int
 	LocksRegistered int
 	Locks           []LockStats
+
+	// Global latency distributions, across every lock of the runtime.
+	// WaitHist/HoldHist aggregate what the per-lock histograms record;
+	// ParkHist is time actually spent asleep in the slot pool.
+	WaitHist obs.HistSnapshot
+	HoldHist obs.HistSnapshot
+	ParkHist obs.HistSnapshot
 }
 
 // sleeper is one parked waiter: a channel closed by whichever wake path
@@ -153,12 +175,33 @@ type sleeper struct {
 	hpos   int
 	forced bool
 	gone   bool
+	// t0 is the recorder stamp taken at claim time (0 when the
+	// recorder was disabled); the sleeper's own goroutine reads it
+	// after waking to record park duration. wake identifies which path
+	// ended the park; written under Runtime.mu by the waker, read
+	// under mu by the woken goroutine.
+	t0   int64
+	wake uint8
 }
+
+// Wake paths, for sleeper.wake and the EvWake event label.
+const (
+	wakeNone = iota
+	wakeByController
+	wakeByUnlock
+	wakeByDrain
+)
+
+var wakeLabels = [...]string{wakeNone: "", wakeByController: "controller", wakeByUnlock: "unlock", wakeByDrain: "drain"}
 
 // Runtime owns the controller goroutine, the load sensor, and the
 // sleep-slot pool shared by every registered lock.
 type Runtime struct {
 	opts Options
+
+	// rec is the runtime's flight recorder (== opts.Recorder, cached
+	// for the hot paths).
+	rec *obs.Recorder
 
 	// spinners is the process-wide census of goroutines currently
 	// spinning in a registered lock (the default load signal).
@@ -207,12 +250,16 @@ func New(opts Options) *Runtime {
 	o := opts.withDefaults()
 	return &Runtime{
 		opts:  o,
+		rec:   o.Recorder,
 		slots: make([]*sleeper, o.BufferCap),
 		locks: make(map[weak.Pointer[Handle]]struct{}),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 }
+
+// Recorder returns the runtime's flight recorder.
+func (r *Runtime) Recorder() *obs.Recorder { return r.rec }
 
 var (
 	defaultOnce sync.Once
@@ -272,7 +319,15 @@ func (r *Runtime) Stop() {
 // removes the entry, so transient locks that are never Closed do not
 // leak registry entries. Close remains the deterministic removal path.
 func (r *Runtime) Register(name string) *Handle {
-	h := &Handle{rt: r, name: name}
+	h := &Handle{
+		rt:   r,
+		name: name,
+		// Per-lock histograms get fewer shards than the globals: a
+		// single lock rarely has enough concurrent recorders to
+		// false-share two shards, and locks can be numerous.
+		wait: obs.NewHistogram(2),
+		hold: obs.NewHistogram(2),
+	}
 	h.self = weak.Make(h)
 	r.regMu.Lock()
 	r.locks[h.self] = struct{}{}
@@ -332,6 +387,9 @@ func (r *Runtime) Snapshot() Snapshot {
 	}
 	snap.LocksRegistered = len(r.locks)
 	r.regMu.Unlock()
+	snap.WaitHist = r.rec.Wait.Snapshot()
+	snap.HoldHist = r.rec.Hold.Snapshot()
+	snap.ParkHist = r.rec.Park.Snapshot()
 	sort.Slice(snap.Locks, func(i, j int) bool { return snap.Locks[i].Name < snap.Locks[j].Name })
 	return snap
 }
@@ -383,6 +441,9 @@ func (r *Runtime) update() {
 		// and current sleepers count against the same budget.
 		t = int(r.spinners.Load()) - r.opts.KeepSpinners + r.sleeping()
 	}
+	// The raw sensor reading, before setTarget clamps it: the flight
+	// recorder should show what the controller saw, not what it kept.
+	r.rec.Event(obs.EvControllerTick, "", "", int64(t))
 	r.setTarget(t)
 }
 
@@ -455,6 +516,11 @@ func (r *Runtime) wakeOne(drain bool) bool {
 			if s.forced && !drain {
 				continue
 			}
+			if s.forced {
+				s.wake = wakeByDrain
+			} else {
+				s.wake = wakeByController
+			}
 			r.detach(s)
 			r.scan = (idx + 1) % n
 			r.mu.Unlock()
@@ -496,6 +562,7 @@ func (r *Runtime) wakeHandle(h *Handle, except *sleeper) bool {
 		r.mu.Unlock()
 		return false
 	}
+	s.wake = wakeByUnlock
 	r.detach(s)
 	r.mu.Unlock()
 	r.unlockWakes.Add(1)
@@ -587,23 +654,37 @@ func (r *Runtime) sleep(s *sleeper, ctx context.Context) error {
 	}
 	timer.Stop()
 	forward := false
+	reason := ""
 	r.mu.Lock()
 	if r.detach(s) {
 		if err != nil {
 			r.ctxCancels.Add(1)
+			reason = "cancel"
 		} else {
 			r.timeoutWakes.Add(1)
 			s.h.timeoutWakes.Add(1)
+			reason = "timeout"
 		}
-	} else if err != nil {
-		// Someone woke this sleeper and the cancellation won the
-		// select anyway: the wake must not be lost.
-		forward = true
+	} else {
+		// Someone woke this sleeper; s.wake (written by the waker
+		// under mu) says who. If the cancellation won the select
+		// anyway, the wake must not be lost.
+		if err != nil {
+			forward = true
+		}
+		reason = wakeLabels[s.wake]
 	}
 	if !s.forced {
 		r.w.Add(1)
 	}
 	r.mu.Unlock()
+	if s.t0 != 0 {
+		// The park ends here, whatever ended it: one observation per
+		// park, spanning claim to retirement.
+		d := r.rec.Now() - s.t0
+		r.rec.Park.Observe(d)
+		r.rec.Span(obs.EvWake, s.h.name, reason, 0, d)
+	}
 	if forward {
 		r.wakeHandle(s.h, nil)
 	}
@@ -652,10 +733,54 @@ type Handle struct {
 	controllerWakes atomic.Uint64
 	timeoutWakes    atomic.Uint64
 	unlockWakes     atomic.Uint64
+
+	// wait and hold are the lock's latency histograms; RecordWait and
+	// RecordHold feed both them and the runtime's global ones.
+	wait *obs.Histogram
+	hold *obs.Histogram
 }
 
 // Name returns the name given at registration.
 func (h *Handle) Name() string { return h.name }
+
+// Obs returns the runtime's flight recorder, for locks that emit
+// their own events (policy swaps, cancelled waits).
+func (h *Handle) Obs() *obs.Recorder { return h.rt.rec }
+
+// WaitStart stamps the beginning of a contended acquisition, or
+// returns 0 when the recorder is disabled (callers skip RecordWait
+// then). This bracket — WaitStart before ContentionPolicy.Wait,
+// RecordWait after — is the single instrumentation seam that covers
+// every policy, built-in or registered.
+func (h *Handle) WaitStart() int64 {
+	rec := h.rt.rec
+	if !rec.Enabled() {
+		return 0
+	}
+	return rec.Now()
+}
+
+// RecordWait records a contended acquisition that began at start (a
+// WaitStart stamp) into the lock's and the runtime's wait histograms.
+func (h *Handle) RecordWait(start int64) {
+	rec := h.rt.rec
+	d := rec.Now() - start
+	h.wait.Observe(d)
+	rec.Wait.Observe(d)
+}
+
+// HoldStamp forwards to the recorder's sampled hold stamping (see
+// obs.Recorder.HoldStamp); locks feed it their acquisition sequence.
+func (h *Handle) HoldStamp(seq uint64) int64 { return h.rt.rec.HoldStamp(seq) }
+
+// RecordHold records a (sampled) lock hold that began at start into
+// the lock's and the runtime's hold histograms.
+func (h *Handle) RecordHold(start int64) {
+	rec := h.rt.rec
+	d := rec.Now() - start
+	h.hold.Observe(d)
+	rec.Hold.Observe(d)
+}
 
 // ParkThreshold returns the runtime's SpinBeforePark setting; locks
 // gate their Park calls on it.
@@ -756,6 +881,16 @@ func (h *Handle) claim(forced bool) (Ticket, bool) {
 	}
 	h.Spinning(-1)
 	h.blocks.Add(1)
+	if rec := h.rt.rec; rec.Enabled() {
+		// Stamp the claim so the eventual wake can record how long the
+		// park lasted. t0 is owned by this goroutine until it sleeps.
+		s.t0 = rec.Now()
+		ev := obs.EvPark
+		if forced {
+			ev = obs.EvForcedClaim
+		}
+		rec.Event(ev, h.name, "", 0)
+	}
 	return Ticket{h: h, s: s}, true
 }
 
@@ -835,5 +970,7 @@ func (h *Handle) Stats() LockStats {
 		UnlockWakes:     h.unlockWakes.Load(),
 		SpinningNow:     h.spinning.Load(),
 		SleepingNow:     h.sleepers.Load(),
+		Wait:            h.wait.Snapshot(),
+		Hold:            h.hold.Snapshot(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 )
 
@@ -23,6 +24,15 @@ type RWMutex struct {
 	wwait atomic.Int32
 	pol   atomic.Pointer[ContentionPolicy]
 	h     *lcrt.Handle
+
+	// Sampled hold-time measurement for WRITE holds only, exactly as
+	// in Mutex (plain fields, protected by the write hold itself).
+	// Reader holds are deliberately unmeasured: they overlap, so no
+	// single release "ends" a hold, and per-reader stamping would put
+	// shared writes on the read fast path. Wait time covers readers
+	// and writers alike.
+	holdSeq   uint64
+	holdStart int64
 }
 
 // NewRW returns a reader/writer lock named for metrics, registered
@@ -55,7 +65,17 @@ func (m *RWMutex) Policy() ContentionPolicy { return *m.pol.Load() }
 // SetPolicy hot-swaps the lock's contention policy; semantics as for
 // Mutex.SetPolicy (new waits use p, standing waits drain under the old
 // policy).
-func (m *RWMutex) SetPolicy(p ContentionPolicy) { m.pol.Store(&p) }
+func (m *RWMutex) SetPolicy(p ContentionPolicy) {
+	m.pol.Store(&p)
+	m.h.Obs().Event(obs.EvPolicySwap, m.h.Name(), p.Name(), 0)
+}
+
+// stampHold marks a write acquisition for sampled hold measurement;
+// see Mutex.stampHold.
+func (m *RWMutex) stampHold() {
+	m.holdSeq++
+	m.holdStart = m.h.HoldStamp(m.holdSeq)
+}
 
 // Close unregisters the lock from its runtime's metrics registry. The
 // lock stays usable; Close only removes it from snapshots.
@@ -104,10 +124,20 @@ func (m *RWMutex) RLockCtx(ctx context.Context) error {
 }
 
 func (m *RWMutex) rlockSlow(ctx context.Context) error {
-	return m.Policy().Wait(ctx, m.h, Acquire{
+	// Same wait-time seam as Mutex.lockSlow: reader waits count too.
+	start := m.h.WaitStart()
+	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try:  m.tryR,
 		Free: m.rAvailable,
 	})
+	if start != 0 {
+		if err != nil {
+			m.h.Obs().Event(obs.EvCtxCancel, m.h.Name(), "", 0)
+		} else {
+			m.h.RecordWait(start)
+		}
+	}
+	return err
 }
 
 // RUnlock releases one read hold. Validation happens before the
@@ -159,6 +189,7 @@ func (m *RWMutex) Lock() {
 	m.wwait.Add(1)
 	if m.state.CompareAndSwap(0, -1) {
 		m.wwait.Add(-1)
+		m.stampHold()
 		return
 	}
 	if err := m.lockSlow(context.Background()); err != nil {
@@ -174,6 +205,7 @@ func (m *RWMutex) LockCtx(ctx context.Context) error {
 	m.wwait.Add(1)
 	if m.state.CompareAndSwap(0, -1) {
 		m.wwait.Add(-1)
+		m.stampHold()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -184,6 +216,7 @@ func (m *RWMutex) LockCtx(ctx context.Context) error {
 }
 
 func (m *RWMutex) lockSlow(ctx context.Context) error {
+	start := m.h.WaitStart()
 	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try: func() bool {
 			if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
@@ -213,9 +246,17 @@ func (m *RWMutex) lockSlow(ctx context.Context) error {
 		PostPark: func() { m.wwait.Add(1) },
 	})
 	if err != nil {
+		if start != 0 {
+			m.h.Obs().Event(obs.EvCtxCancel, m.h.Name(), "", 0)
+		}
 		m.abandonWrite()
+		return err
 	}
-	return err
+	if start != 0 {
+		m.h.RecordWait(start)
+	}
+	m.stampHold()
+	return nil
 }
 
 // abandonWrite retires a cancelled write acquisition: the gate drops,
@@ -239,9 +280,13 @@ func (m *RWMutex) LockNested() {
 	m.wwait.Add(1)
 	if m.state.CompareAndSwap(0, -1) {
 		m.wwait.Add(-1)
+		m.stampHold()
 		return
 	}
 	h := m.h
+	// LockNested never runs a policy Wait, so it brackets its own spin
+	// loop — stripe-latch convoys show up in the wait histograms too.
+	start := h.WaitStart()
 	h.Spinning(1)
 	c := cadence{park: noPark}
 	for {
@@ -249,6 +294,10 @@ func (m *RWMutex) LockNested() {
 			m.wwait.Add(-1)
 			h.Spinning(-1)
 			h.NoteSpins(c.spins)
+			if start != 0 {
+				h.RecordWait(start)
+			}
+			m.stampHold()
 			return
 		}
 		c.next()
@@ -256,10 +305,18 @@ func (m *RWMutex) LockNested() {
 }
 
 // Unlock releases the write hold, waking a parked waiter if no spinner
-// is left to take the lock.
+// is left to take the lock. Sampled write holds are recorded after the
+// release, as in Mutex.Unlock.
 func (m *RWMutex) Unlock() {
+	start := m.holdStart
+	if start != 0 {
+		m.holdStart = 0
+	}
 	if !m.state.CompareAndSwap(-1, 0) {
 		panic("golc: Unlock of RWMutex not held for writing")
+	}
+	if start != 0 {
+		m.h.RecordHold(start)
 	}
 	m.h.NoteUnlock()
 }

@@ -194,6 +194,8 @@ func (s *Store) Policy() golc.ContentionPolicy { return *s.pol.Load() }
 // TimeoutWakes-vs-UnlockWakes split is the serving-layer view of the
 // wake path: timeout wakes mean a latch sat free until the safety
 // timeout; unlock wakes mean the release handed it off immediately.
+// The wait and hold histograms merge across latches too, so the
+// store-wide p99 wait is one Quantile call away.
 func (s *Store) LatchStats() lcrt.LockStats {
 	agg := lcrt.LockStats{Name: "kv/all"}
 	add := func(m *golc.RWMutex) {
@@ -203,6 +205,8 @@ func (s *Store) LatchStats() lcrt.LockStats {
 		agg.ControllerWakes += ls.ControllerWakes
 		agg.TimeoutWakes += ls.TimeoutWakes
 		agg.UnlockWakes += ls.UnlockWakes
+		agg.Wait.Merge(ls.Wait)
+		agg.Hold.Merge(ls.Hold)
 	}
 	for _, sh := range s.shards {
 		add(sh.mu)

@@ -3,6 +3,8 @@ package oltp
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/golc/obs"
 )
 
 // DeadlockPolicy decides what a lock request does when it conflicts
@@ -164,6 +166,9 @@ func (p *detectPolicy) onBlocked(lm *lockManager, req *Txn, id ResourceID, w *wa
 		// the grant instead). No latch is taken here, so the graph
 		// mutex can stay held throughout.
 		vw.cancel()
+		// Flight-recorder mark: the resource whose block closed the
+		// cycle, and which transaction was sacrificed.
+		lm.rec.Event(obs.EvDeadlockVictim, id.String(), "", int64(victim.tid))
 		if victim == req {
 			// Our own wait is cancelled and our edges are gone; no
 			// further cycle can involve us.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/golc"
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 )
 
@@ -168,14 +169,16 @@ type lmStripe struct {
 // lockManager is the DB's logical lock table. The deadlock policy owns
 // every die-vs-wait decision (see DeadlockPolicy).
 type lockManager struct {
-	stripes []*lmStripe
-	timeout time.Duration
-	policy  DeadlockPolicy
-	m       *Metrics
+	stripes  []*lmStripe
+	timeout  time.Duration
+	policy   DeadlockPolicy
+	m        *Metrics
+	rec      *obs.Recorder  // flight recorder for txn lifecycle events
+	lockWait *obs.Histogram // logical lock wait durations (the DB's)
 }
 
-func newLockManager(pol golc.ContentionPolicy, o Options, m *Metrics) *lockManager {
-	lm := &lockManager{timeout: o.WaitTimeout, policy: o.DeadlockPolicy, m: m}
+func newLockManager(pol golc.ContentionPolicy, o Options, m *Metrics, rec *obs.Recorder, lockWait *obs.Histogram) *lockManager {
+	lm := &lockManager{timeout: o.WaitTimeout, policy: o.DeadlockPolicy, m: m, rec: rec, lockWait: lockWait}
 	for i := 0; i < o.LockStripes; i++ {
 		lm.stripes = append(lm.stripes, &lmStripe{
 			latch: golc.New(fmt.Sprintf("oltp/lm-%03d", i),
@@ -317,6 +320,9 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 		lm.maybeFree(st, id, l)
 		st.latch.Unlock()
 		lm.m.WaitDieAborts.Add(1)
+		if lm.rec.Enabled() {
+			lm.rec.Event(obs.EvTxnAbort, id.String(), AbortWaitDie.String(), int64(txn.tid))
+		}
 		return txn.noteAbort(&AbortError{Reason: AbortWaitDie, Resource: id})
 	}
 	// Safe (or allowed) to wait. The holders entry (for an upgrade)
@@ -333,6 +339,19 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	l.waiters = append(l.waiters, w)
 	st.latch.Unlock()
 	lm.m.LockWaits.Add(1)
+	// One observation per blocked acquire, however the wait ends (the
+	// deferred record covers every return below); the block event gives
+	// the flight recorder the queue-entry edge.
+	var t0 int64
+	if lm.rec.Enabled() {
+		t0 = lm.rec.Now()
+		lm.rec.Event(obs.EvTxnBlock, id.String(), goal.String(), int64(txn.tid))
+	}
+	defer func() {
+		if t0 != 0 {
+			lm.lockWait.Observe(lm.rec.Now() - t0)
+		}
+	}()
 	// The detector records wait edges and runs its cycle check here —
 	// possibly cancelling w itself, in which case the wait below
 	// returns immediately.
@@ -381,9 +400,15 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 		// cancellation that raced the timeout is credited to the
 		// detector that caused it, not the backstop.
 		lm.m.DetectedAborts.Add(1)
+		if lm.rec.Enabled() {
+			lm.rec.Event(obs.EvTxnAbort, id.String(), AbortDeadlock.String(), int64(txn.tid))
+		}
 		return txn.noteAbort(&AbortError{Reason: AbortDeadlock, Resource: id})
 	}
 	lm.m.TimeoutAborts.Add(1)
+	if lm.rec.Enabled() {
+		lm.rec.Event(obs.EvTxnAbort, id.String(), AbortTimeout.String(), int64(txn.tid))
+	}
 	return txn.noteAbort(&AbortError{Reason: AbortTimeout, Resource: id})
 }
 

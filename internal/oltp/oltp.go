@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/golc"
+	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 )
@@ -242,6 +243,16 @@ type DB struct {
 	opts  Options
 	tids  atomic.Uint64
 	m     Metrics
+
+	// rec is the latch runtime's flight recorder: transaction
+	// lifecycle events (block, abort, deadlock victim, escalation)
+	// land in the same ring as the physical lock events, so one trace
+	// shows both layers. commitLat and lockWait are the DB's logical
+	// latency distributions: successful DB.Run wall time (retries and
+	// backoff included) and time blocked per logical lock wait.
+	rec       *obs.Recorder
+	commitLat *obs.Histogram
+	lockWait  *obs.Histogram
 }
 
 // New builds a DB over store. The store is not owned: the caller keeps
@@ -251,10 +262,28 @@ type DB struct {
 // for those keys only).
 func New(store *kv.Store, opts Options) *DB {
 	o := opts.withDefaults()
-	db := &DB{store: store, opts: o}
-	db.lm = newLockManager(store.Policy(), o, &db.m)
+	db := &DB{
+		store:     store,
+		opts:      o,
+		rec:       latchRuntime(o).Recorder(),
+		commitLat: obs.NewHistogram(8),
+		lockWait:  obs.NewHistogram(4),
+	}
+	db.lm = newLockManager(store.Policy(), o, &db.m, db.rec, db.lockWait)
 	return db
 }
+
+// Recorder returns the flight recorder the DB records into (the latch
+// runtime's).
+func (db *DB) Recorder() *obs.Recorder { return db.rec }
+
+// CommitLatency returns the distribution of successful DB.Run wall
+// times, retries and backoff included.
+func (db *DB) CommitLatency() obs.HistSnapshot { return db.commitLat.Snapshot() }
+
+// LockWaitHist returns the distribution of logical lock wait times
+// (one observation per blocked acquire, however it ended).
+func (db *DB) LockWaitHist() obs.HistSnapshot { return db.lockWait.Snapshot() }
 
 // SetLatchPolicy hot-swaps the contention policy of the lock table's
 // stripe latches (the physical latches, not the logical
@@ -321,6 +350,20 @@ func (db *DB) begin(tid uint64) *Txn {
 // ErrCallerAborted instead of the old confusing ErrTxnDone from a
 // doomed Commit call.
 func (db *DB) Run(fn func(*Txn) error) error {
+	var t0 int64
+	if db.rec.Enabled() {
+		t0 = db.rec.Now()
+	}
+	err := db.run(fn)
+	if err == nil && t0 != 0 {
+		// Commit latency is end-to-end: every aborted attempt and
+		// backoff sleep a caller sat through counts against it.
+		db.commitLat.Observe(db.rec.Now() - t0)
+	}
+	return err
+}
+
+func (db *DB) run(fn func(*Txn) error) error {
 	tid := db.tids.Add(1)
 	for attempt := 0; ; attempt++ {
 		t := db.begin(tid)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/golc/obs"
 	"repro/internal/kv"
 )
 
@@ -149,6 +150,9 @@ func (t *Txn) escalate(pid ResourceID, write bool) error {
 	}
 	delete(t.recCount, pid)
 	t.db.m.Escalations.Add(1)
+	if t.db.rec.Enabled() {
+		t.db.rec.Event(obs.EvEscalation, pid.String(), target.String(), int64(t.tid))
+	}
 	return nil
 }
 
