@@ -181,9 +181,11 @@ type txnResponse struct {
 	Results   []txnOpResult `json:"results,omitempty"`
 }
 
-// handleTxn executes one transaction via DB.Run (wait-die aborts are
-// retried under the original timestamp; only terminal failures reach
-// the client, as 409).
+// handleTxn executes one transaction via DB.RunCtx under the request's
+// context (wait-die aborts are retried under the original timestamp;
+// only terminal failures reach the client, as 409; a client that
+// disconnects mid-wait cancels its own lock waits instead of queueing
+// until timeout).
 func handleTxn(db *oltp.DB, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -216,7 +218,7 @@ func handleTxn(db *oltp.DB, w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var results []txnOpResult
-	err := db.Run(func(t *oltp.Txn) error {
+	err := db.RunCtx(r.Context(), func(t *oltp.Txn) error {
 		results = results[:0] // a retry re-runs every op
 		for _, op := range req.Ops {
 			switch op.Op {
@@ -536,6 +538,7 @@ func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime) erro
 	pw.Counter("oltp_escalations_total", "Record-to-partition lock escalations.", nil, m.Escalations)
 	pw.Counter("oltp_lock_waits_total", "Logical lock requests that blocked.", nil, m.LockWaits)
 	pw.Counter("oltp_latch_misses_total", "Lock-table latch TryLock misses (physical contention).", nil, m.LatchMisses)
+	pw.Counter("oltp_ctx_cancels_total", "Logical lock waits ended by the caller's context (client gone, not a deadlock victim).", nil, m.CtxCancels)
 	pw.Gauge("oltp_lock_entries", "Live lock-table entries.", nil, float64(db.LockEntries()))
 	pw.Histogram("oltp_commit_seconds", "Committed-transaction latency, Run entry to commit.", nil, db.CommitLatency())
 	pw.Histogram("oltp_lock_wait_seconds", "Blocked logical lock acquisition wait time.", nil, db.LockWaitHist())

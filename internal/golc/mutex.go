@@ -56,6 +56,8 @@ func buildConfig(opts []Option) config {
 // A Mutex must be created with New (or the legacy constructors); it
 // registers with a load-control Runtime at construction.
 type Mutex struct {
+	noCopy noCopy
+
 	state atomic.Int32
 	pol   atomic.Pointer[ContentionPolicy]
 	h     *lcrt.Handle

@@ -1,0 +1,15 @@
+package golc
+
+// noCopy makes `go vet -copylocks` flag any by-value copy of a struct
+// embedding it. A golc lock is even less copyable than a sync.Mutex:
+// besides the lock word, it carries its runtime Handle registration,
+// and a copy would report wait/hold samples against the original's
+// registration while holding a divergent lock word. The Lock/Unlock
+// no-op methods are the whole mechanism — vet treats any type with
+// both as a lock value.
+//
+// See https://golang.org/issues/8005#issuecomment-190753527.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}

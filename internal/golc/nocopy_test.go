@@ -1,0 +1,64 @@
+package golc
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetFlagsByValueCopy proves the noCopy sentinels work end to end:
+// `go vet` (copylocks) must flag a by-value copy of golc.Mutex and
+// golc.RWMutex. The check runs vet on a scratch module that requires
+// this repo via a replace directive, because copylocks only fires on
+// the *consumer* of the type — a fixture inside this package would be
+// vetted (and rejected) as part of the repo's own vet gate.
+func TestVetFlagsByValueCopy(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// The module is named under repro/ so Go's internal-package rule
+	// admits the repro/internal/golc import.
+	gomod := "module repro/vetfixture\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => " + root + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const src = `package main
+
+import "repro/internal/golc"
+
+func main() {
+	m := golc.New("copyme")
+	mCopy := *m // want: copies lock value
+	_ = mCopy
+	rw := golc.NewRW("copyme-rw")
+	rwCopy := *rw // want: copies lock value
+	_ = rwCopy
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(goTool, "vet", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOWORK=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want copylocks findings.\noutput:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "copies lock value") {
+		t.Fatalf("go vet failed without a copylocks finding:\n%s", text)
+	}
+	if n := strings.Count(text, "copies lock value"); n < 2 {
+		t.Fatalf("want copylocks findings for both Mutex and RWMutex, got %d:\n%s", n, text)
+	}
+}

@@ -20,6 +20,8 @@ import (
 // state encodes the lock: -1 while a writer holds it, otherwise the
 // reader count. wwait counts writers waiting (it gates new readers).
 type RWMutex struct {
+	noCopy noCopy
+
 	state atomic.Int32
 	wwait atomic.Int32
 	pol   atomic.Pointer[ContentionPolicy]

@@ -367,7 +367,8 @@ func (s *Store) reindex(key, old string, hadOld bool, value string, hasNew bool)
 	}
 	sort.Ints(held)
 	for _, i := range held {
-		s.stripes[i].mu.LockNested()
+		//lint:allow lockpair released by the symmetric unlock loop at the end of this function
+		s.stripes[i].mu.LockNested() //lint:allow lockorder stripes are taken in ascending index order, so the self-edge cannot close a cycle
 	}
 	if hadOld {
 		set := s.stripes[oi].keys[old]

@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer gets one failing fixture (want-annotated) and one clean
+// fixture (no annotations; any finding fails the test). Fixtures load
+// in separate runs so their acquisition graphs cannot interact.
+
+func TestLockpair(t *testing.T) {
+	linttest.Run(t, "lockpair", "internal/lint/testdata/src/lockpair")
+}
+
+func TestLockpairClean(t *testing.T) {
+	linttest.Run(t, "lockpair", "internal/lint/testdata/src/lockpairok")
+}
+
+func TestNestedpark(t *testing.T) {
+	linttest.Run(t, "nestedpark", "internal/lint/testdata/src/nestedpark")
+}
+
+func TestNestedparkClean(t *testing.T) {
+	linttest.Run(t, "nestedpark", "internal/lint/testdata/src/nestedparkok")
+}
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "lockorder", "internal/lint/testdata/src/lockorder")
+}
+
+func TestLockorderClean(t *testing.T) {
+	linttest.Run(t, "lockorder", "internal/lint/testdata/src/lockorderok")
+}
+
+func TestCtxlock(t *testing.T) {
+	linttest.Run(t, "ctxlock", "internal/lint/testdata/src/ctxlock")
+}
+
+func TestCtxlockClean(t *testing.T) {
+	linttest.Run(t, "ctxlock", "internal/lint/testdata/src/ctxlockok")
+}
+
+func TestPolicyreg(t *testing.T) {
+	linttest.Run(t, "policyreg", "internal/lint/testdata/src/policyreg")
+}
+
+func TestPolicyregClean(t *testing.T) {
+	linttest.Run(t, "policyreg", "internal/lint/testdata/src/policyregok")
+}

@@ -1,0 +1,183 @@
+// Package lint is lclint's analysis framework plus the five
+// repo-specific analyzers that machine-check the lock runtime's
+// correctness invariants (see cmd/lclint):
+//
+//   - lockpair: every golc Lock/RLock acquisition must be released on
+//     every path out of the function (defer-aware).
+//   - nestedpark: no potentially-parking acquisition while a golc lock
+//     is held — the PR-1 "never park while holding" rule that
+//     RWMutex.LockNested exists for.
+//   - lockorder: the static acquisition-order graph (golc lock classes
+//     plus oltp's table→partition→record logical hierarchy) must stay
+//     acyclic.
+//   - ctxlock: context-aware acquisition paths must not be fed
+//     context.Background()/TODO() when a real deadline/cancel context
+//     is in scope — the deadlock detector's victim-kill path depends
+//     on waits being cancellable.
+//   - policyreg: golc.RegisterPolicy only from init/main, no duplicate
+//     or reserved policy names.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic, testdata golden tests in linttest), but is
+// self-contained on the standard library: this module has no external
+// dependencies and its toolchain gates run offline, so the framework
+// loads packages itself — source-parsing the packages under analysis
+// and resolving their imports through the compiler's export data (see
+// load.go) instead of go/packages.
+//
+// Findings are suppressed with an explicit, reasoned annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. A suppression
+// without a reason is itself a finding — the decision record is the
+// point, not the mute button.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. The shape follows
+// golang.org/x/tools/go/analysis so the checks could migrate to the
+// real framework if this module ever grows the dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //lint:allow
+	// suppressions. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description `lclint -list` prints:
+	// the invariant, and why the repo holds it.
+	Doc string
+
+	// Run analyzes one package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+
+	// Begin, when non-nil, resets any cross-package state before a
+	// whole-program run (lockorder accumulates its acquisition graph
+	// across packages).
+	Begin func()
+
+	// End, when non-nil, runs after every package has been analyzed
+	// and may report program-wide findings (e.g. lock-order cycles
+	// whose edges live in different packages).
+	End func(report func(Diagnostic))
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Lockpair, Nestedpark, Lockorder, Ctxlock, Policyreg}
+}
+
+// ByName resolves a comma-separated analyzer list ("lockpair,ctxlock").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, a := range All() {
+				known = append(known, a.Name)
+			}
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Run applies analyzers to pkgs and returns surviving findings sorted
+// by position: suppressed findings are dropped, malformed suppressions
+// are added (a //lint:allow with no analyzer name or no reason is a
+// finding of its own), and duplicates (same analyzer, position and
+// message — e.g. from the walker's second loop pass) collapse.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, a := range analyzers {
+		if a.Begin != nil {
+			a.Begin()
+		}
+	}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
+			if err := a.Run(pass); err != nil {
+				collect(Diagnostic{Analyzer: a.Name, Pos: token.NoPos,
+					Message: fmt.Sprintf("internal error in %s: %v", pkg.ImportPath, err)})
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.End != nil {
+			a.End(collect)
+		}
+	}
+
+	// One suppression index over every file of every package analyzed.
+	sup := newSuppressions(pkgs)
+	diags = append(sup.malformed, filterSuppressed(diags, sup)...)
+
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	fsetPos := func(p token.Pos) token.Position {
+		if len(pkgs) == 0 || p == token.NoPos {
+			return token.Position{}
+		}
+		return pkgs[0].Fset.Position(p)
+	}
+	for _, d := range diags {
+		key := d.Analyzer + "\x00" + fsetPos(d.Pos).String() + "\x00" + d.Message
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fsetPos(out[i].Pos), fsetPos(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}

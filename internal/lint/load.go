@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package with syntax.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader turns directory patterns into type-checked Packages.
+//
+// The packages under analysis are parsed from source (the analyzers
+// need syntax); everything they import — standard library and module
+// siblings alike — is resolved through the compiler's export data,
+// located with one `go list -export -deps` call. That keeps the loader
+// dependency-free (no go/packages) and fully offline: export data
+// comes out of the local build cache, which `go list -export`
+// populates by compiling, so a package that does not build cannot be
+// linted — the same contract go vet has.
+type Loader struct {
+	ModRoot string // module root directory (where go.mod lives)
+	ModPath string // module path from go.mod ("repro")
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+	ctx     build.Context
+}
+
+// NewLoader builds a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+
+	l := &Loader{
+		ModRoot: root,
+		ModPath: modpath,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		ctx:     build.Default,
+	}
+	if err := l.listExports("./..."); err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			// A root outside the module graph (a lint testdata fixture)
+			// may import a std package nothing in the module uses; list
+			// it on demand.
+			if err := l.listExports(path); err != nil {
+				return nil, err
+			}
+			if file, ok = l.exports[path]; !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", lookup).(types.ImporterFrom)
+	return l, nil
+}
+
+// listExports records export-data locations for pattern and all its
+// dependencies.
+func (l *Loader) listExports(pattern string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", pattern)
+	cmd.Dir = l.ModRoot
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: go list -export %s: %v\n%s", pattern, err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: go list -export %s: %v", pattern, err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer over export data: the type checker
+// sees the exact package types the compiler produced.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.imp.ImportFrom(path, l.ModRoot, 0)
+}
+
+// Load resolves patterns to type-checked packages. Patterns are
+// directories relative to the module root; "dir/..." walks. Directories
+// the go tool ignores (testdata, dot- and underscore-prefixed) are
+// skipped by the walk but can be named directly — that is how linttest
+// loads fixtures.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(rest, "./")))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the (non-test) package in dir.
+// Test files are out of scope for the invariant checks by design: the
+// conformance suites deliberately abuse the lock API (double acquires,
+// cancelled waits, registrations mid-test) to prove runtime behavior.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	importPath := l.ModPath
+	if rel, err := filepath.Rel(l.ModRoot, dir); err == nil && rel != "." {
+		importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Nestedpark enforces the runtime's founding rule (documented at
+// RWMutex.LockNested): a goroutine holding a golc lock must never
+// park, because with the load-controlled policy a parked holder pins a
+// wait slot while every thread queued on its lock pins more — the
+// admission controller interprets the stall as load and collapses the
+// slot pool. Acquire-while-holding must use LockNested (spins, never
+// parks) or TryLock. The check is intra-procedural plus a one-level
+// same-package call summary: calling a function that (transitively)
+// reaches a parking point counts as parking here.
+var Nestedpark = &Analyzer{
+	Name: "nestedpark",
+	Doc: "no potentially-parking operation (golc Lock/RLock/LockCtx/RLockCtx, " +
+		"ContentionPolicy.Wait, runtime Ticket.Sleep, or any same-package call that " +
+		"transitively reaches one) while a golc lock is held; use LockNested or " +
+		"TryLock for nested acquisition. Parking while holding deadlocks the " +
+		"load-controlled policy's slot pool.",
+	Run: runNestedpark,
+}
+
+func runNestedpark(pass *Pass) error {
+	facts := computeFacts(pass.Pkg)
+	forEachFuncDecl(pass.Pkg, func(fd *ast.FuncDecl) {
+		walkFunc(pass.Pkg.Info, fd.Body, hooks{
+			onAcquire: func(ci callInfo, held []heldLock, second bool) {
+				if ci.kind != kindAcqPark {
+					return
+				}
+				if h, ok := firstPhysical(held); ok {
+					pass.Reportf(ci.call.Pos(),
+						"%s may park while %s is held (acquired at line %d): use LockNested or TryLock — never park while holding a golc lock",
+						ci.name, heldName(h), pass.Pkg.Fset.Position(h.pos).Line)
+				}
+			},
+			onPark: func(ci callInfo, held []heldLock, second bool) {
+				if h, ok := firstPhysical(held); ok {
+					pass.Reportf(ci.call.Pos(),
+						"%s parks while %s is held (acquired at line %d): never park while holding a golc lock",
+						ci.name, heldName(h), pass.Pkg.Fset.Position(h.pos).Line)
+				}
+			},
+			onCall: func(ci callInfo, held []heldLock, second bool) {
+				if ci.callee == nil {
+					return
+				}
+				ff := facts[ci.callee]
+				if ff == nil || !ff.parks {
+					return
+				}
+				if h, ok := firstPhysical(held); ok {
+					pass.Reportf(ci.call.Pos(),
+						"call to %s may park (%s) while %s is held (acquired at line %d): never park while holding a golc lock",
+						ci.callee.Name(), ff.parkWhat, heldName(h), pass.Pkg.Fset.Position(h.pos).Line)
+				}
+			},
+		})
+	})
+	return nil
+}
+
+func firstPhysical(held []heldLock) (heldLock, bool) {
+	for _, h := range held {
+		if !h.logical {
+			return h, true
+		}
+	}
+	return heldLock{}, false
+}
+
+func heldName(h heldLock) string {
+	return strings.TrimSuffix(strings.TrimSuffix(h.key, "/W"), "/R")
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// suppressPrefix is the annotation lclint honors:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// It suppresses that analyzer's findings on the comment's own line and
+// on the line directly below it (so it works both as an end-of-line
+// annotation and as a standalone line above the flagged statement).
+// The reason is mandatory: a suppression is a recorded decision, and
+// one without a rationale is reported as a finding itself.
+const suppressPrefix = "//lint:allow"
+
+type suppressions struct {
+	// byLine maps file:line to the analyzer names suppressed there.
+	byLine    map[string][]string
+	malformed []Diagnostic
+	fset      *token.FileSet
+}
+
+func newSuppressions(pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: make(map[string][]string)}
+	for _, pkg := range pkgs {
+		s.fset = pkg.Fset
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, suppressPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, suppressPrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      c.Pos(),
+							Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := lineKey(pos.Filename, line)
+						s.byLine[key] = append(s.byLine[key], fields[0])
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	if s.fset == nil || d.Pos == token.NoPos {
+		return false
+	}
+	pos := s.fset.Position(d.Pos)
+	for _, name := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func filterSuppressed(diags []Diagnostic, s *suppressions) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.allows(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

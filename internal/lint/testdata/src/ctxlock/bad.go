@@ -1,0 +1,51 @@
+// Package ctxlock holds failing fixtures for the ctxlock analyzer:
+// Background/TODO contexts fed into cancellable seams from functions
+// that have a real context in scope.
+package ctxlock
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/golc"
+)
+
+func handlerBackground(w http.ResponseWriter, r *http.Request, mu *golc.Mutex) {
+	if err := mu.LockCtx(context.Background()); err != nil { // want `context.Background\(\) passed to mu\.LockCtx`
+		return
+	}
+	mu.Unlock()
+}
+
+func todoUnderRealCtx(ctx context.Context, mu *golc.Mutex) error {
+	if err := mu.LockCtx(context.TODO()); err != nil { // want `context.TODO\(\) passed to mu\.LockCtx`
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+
+type fakeDB struct{}
+
+func (d *fakeDB) Run(fn func() error) error                         { return fn() }
+func (d *fakeDB) RunCtx(ctx context.Context, fn func() error) error { return fn() }
+
+func handlerIgnoresVariant(r *http.Request, d *fakeDB) error {
+	return d.Run(func() error { return nil }) // want `context-aware variant RunCtx`
+}
+
+type fakeTxn struct{ ctx context.Context }
+
+func waiterFromBackground(t *fakeTxn) (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) // want `context.Background\(\) passed to context.WithCancel`
+}
+
+func literalInheritsScope(r *http.Request, mu *golc.Mutex) func() {
+	return func() {
+		// The closure captures r from the handler above it.
+		if err := mu.LockCtx(context.Background()); err != nil { // want `context.Background\(\) passed to mu\.LockCtx`
+			return
+		}
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,60 @@
+// Package ctxlockok holds clean fixtures for the ctxlock analyzer:
+// real contexts threaded through, and Background used only where no
+// better context exists.
+package ctxlockok
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/golc"
+)
+
+func handlerThreadsCtx(w http.ResponseWriter, r *http.Request, mu *golc.Mutex) {
+	if err := mu.LockCtx(r.Context()); err != nil {
+		return
+	}
+	mu.Unlock()
+}
+
+func realCtxThreaded(ctx context.Context, mu *golc.Mutex) error {
+	if err := mu.LockCtx(ctx); err != nil {
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+
+type fakeDB struct{}
+
+func (d *fakeDB) Run(fn func() error) error                         { return fn() }
+func (d *fakeDB) RunCtx(ctx context.Context, fn func() error) error { return fn() }
+
+func handlerUsesVariant(r *http.Request, d *fakeDB) error {
+	return d.RunCtx(r.Context(), func() error { return nil })
+}
+
+// rootConstructor has no context in scope: Background is the only
+// correct root here and must not be flagged.
+func rootConstructor(mu *golc.Mutex) (context.Context, context.CancelFunc, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := mu.LockCtx(ctx)
+	if err == nil {
+		mu.Unlock()
+	}
+	return ctx, cancel, err
+}
+
+// voidLockIsNotDropIn: Lock() has no error contract, so switching it to
+// LockCtx is a judgment call the analyzer deliberately leaves alone —
+// runtime-internal latch holds are intentionally non-cancellable.
+func voidLockIsNotDropIn(r *http.Request, mu *golc.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// backgroundInPlainHelper: d.Run without any request/context in scope
+// is fine.
+func backgroundInPlainHelper(d *fakeDB) error {
+	return d.Run(func() error { return nil })
+}

@@ -1,0 +1,37 @@
+// Package policyregok holds clean fixtures for the policyreg analyzer:
+// unique, unreserved names registered at init time (an init func, a
+// package-level var initializer, or main) produce no findings.
+package policyregok
+
+import (
+	"context"
+
+	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+)
+
+type basePolicy struct{}
+
+func (basePolicy) Wait(ctx context.Context, h *lcrt.Handle, a golc.Acquire) error {
+	for !a.Try() {
+	}
+	return nil
+}
+
+type fromInit struct{ basePolicy }
+type fromVar struct{ basePolicy }
+type fromMain struct{ basePolicy }
+
+func (fromInit) Name() string { return "fixture-init" }
+func (fromVar) Name() string  { return "fixture-var" }
+func (fromMain) Name() string { return "fixture-main" }
+
+func init() {
+	_ = golc.RegisterPolicy(fromInit{})
+}
+
+var _ = golc.RegisterPolicy(fromVar{})
+
+func main() {
+	_ = golc.RegisterPolicy(fromMain{})
+}

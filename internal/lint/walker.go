@@ -1,0 +1,704 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// heldLock is one lock known to be held at a program point.
+type heldLock struct {
+	key     string    // intra-procedural identity (lockKeyOf); "" for logical locks
+	class   string    // acquisition-order class (classOf / logical level); may be ""
+	read    bool      // reader-side hold
+	logical bool      // oltp lock-manager logical lock, not a golc latch
+	name    string    // acquiring method name ("Lock", "TryLock", ...)
+	pos     token.Pos // acquisition site
+}
+
+// hooks receives walker events. The `second` flag marks events from the
+// second pass over a loop body (the pass that exposes iteration-carried
+// holds); analyzers that would double-report ignore it, lockorder wants
+// it for self-edges.
+type hooks struct {
+	// onAcquire fires for every golc acquire (all kinds) and logical
+	// acquire, with the locks held *before* this acquisition.
+	onAcquire func(ci callInfo, held []heldLock, second bool)
+	// onPark fires for non-acquire park points (policy Wait, ticket
+	// Sleep/SleepCtx).
+	onPark func(ci callInfo, held []heldLock, second bool)
+	// onCall fires for calls the classifier does not recognize —
+	// candidates for the one-level call-graph summaries.
+	onCall func(ci callInfo, held []heldLock, second bool)
+	// onExit fires at every function exit (return, panic, fallthrough
+	// off the end) with the locks still held after deferred releases.
+	// First pass only.
+	onExit func(pos token.Pos, held []heldLock)
+}
+
+// walkState is the abstract state at one program point.
+type walkState struct {
+	held     []heldLock                // acquisition-ordered
+	deferred map[string]bool           // lock keys released by a defer
+	tryVars  map[types.Object]callInfo // vars holding a pending TryLock result
+}
+
+func newWalkState() *walkState {
+	return &walkState{deferred: map[string]bool{}, tryVars: map[types.Object]callInfo{}}
+}
+
+func (s *walkState) clone() *walkState {
+	c := &walkState{
+		held:     append([]heldLock(nil), s.held...),
+		deferred: make(map[string]bool, len(s.deferred)),
+		tryVars:  make(map[types.Object]callInfo, len(s.tryVars)),
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range s.tryVars {
+		c.tryVars[k] = v
+	}
+	return c
+}
+
+// merge unions two states: a lock held on either branch is treated as
+// held after the join (over-approximation — the analyzers' reports are
+// "on some path" claims).
+func merge(a, b *walkState) *walkState {
+	out := a.clone()
+	haveKey := make(map[string]bool, len(out.held))
+	for _, h := range out.held {
+		haveKey[h.key+"\x00"+h.name] = true
+	}
+	for _, h := range b.held {
+		if !haveKey[h.key+"\x00"+h.name] {
+			out.held = append(out.held, h)
+		}
+	}
+	for k := range b.deferred {
+		out.deferred[k] = true
+	}
+	for k, v := range b.tryVars {
+		out.tryVars[k] = v
+	}
+	return out
+}
+
+// heldNow returns the current held set minus deferred releases —
+// what is genuinely still held at an exit.
+func (s *walkState) exitHeld() []heldLock {
+	var out []heldLock
+	for _, h := range s.held {
+		if h.logical || s.deferred[h.key] {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func (s *walkState) add(h heldLock) {
+	s.held = append(s.held, h)
+}
+
+func (s *walkState) release(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// walker runs the held-set abstract interpretation over one function
+// body. It is deliberately intra-procedural; cross-function effects come
+// from the facts summaries consumed by the analyzers, not the walker.
+type walker struct {
+	info   *types.Info
+	hooks  hooks
+	second int // >0 inside a second loop-body pass
+}
+
+// walkFunc analyzes one function body from an empty held set.
+func walkFunc(info *types.Info, body *ast.BlockStmt, hooks hooks) {
+	if body == nil {
+		return
+	}
+	w := &walker{info: info, hooks: hooks}
+	st := newWalkState()
+	if !w.block(body, st) {
+		w.exit(body.Rbrace, st)
+	}
+}
+
+func (w *walker) exit(pos token.Pos, st *walkState) {
+	if w.second == 0 && w.hooks.onExit != nil {
+		w.hooks.onExit(pos, st.exitHeld())
+	}
+}
+
+// block walks a statement list; returns true if the path terminates
+// (return/panic/branch) before falling off the end.
+func (w *walker) block(b *ast.BlockStmt, st *walkState) bool {
+	for _, s := range b.List {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement; returns true if control does not fall
+// through to the next statement.
+func (w *walker) stmt(s ast.Stmt, st *walkState) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, st)
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+		return isTerminalCall(w.info, s.X)
+	case *ast.AssignStmt:
+		return w.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.bindTry(identObjs(w.info, vs.Names), vs.Values, st)
+				}
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		w.exit(s.Pos(), st)
+		return true
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+		return false
+	case *ast.GoStmt:
+		// The goroutine body runs with its own (empty) held set; the
+		// spawning function's locks are not held *by* the goroutine.
+		w.exprArgsOnly(s.Call, st)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			walkFunc(w.info, lit.Body, w.hooks)
+		}
+		return false
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		w.loopBody(s.Body, s.Post, st)
+		return false
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		w.loopBody(s.Body, nil, st)
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		return w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		return w.commClauses(s.Body, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; treating the
+		// path as terminated keeps the analysis conservative without
+		// modeling labels.
+		return true
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		return false
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+		return false
+	}
+	return false
+}
+
+// assign evaluates RHS calls and tracks `ok := mu.TryLock()` bindings.
+func (w *walker) assign(s *ast.AssignStmt, st *walkState) bool {
+	var objs []types.Object
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := w.info.Defs[id]
+			if obj == nil {
+				obj = w.info.Uses[id]
+			}
+			objs = append(objs, obj)
+		} else {
+			w.expr(lhs, st)
+			objs = append(objs, nil)
+		}
+	}
+	w.bindTry(objs, s.Rhs, st)
+	return false
+}
+
+func identObjs(info *types.Info, ids []*ast.Ident) []types.Object {
+	objs := make([]types.Object, len(ids))
+	for i, id := range ids {
+		objs[i] = info.Defs[id]
+	}
+	return objs
+}
+
+// bindTry evaluates rhs expressions; a direct TryLock call assigned to a
+// single variable is remembered so a later `if ok { ... }` can credit
+// the hold to the guarded branch.
+func (w *walker) bindTry(lhs []types.Object, rhs []ast.Expr, st *walkState) {
+	for i, r := range rhs {
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && len(lhs) == len(rhs) && lhs[i] != nil {
+			ci := classifyCall(w.info, call)
+			if ci.kind == kindAcqTry {
+				w.fire(ci, st)
+				st.tryVars[lhs[i]] = ci
+				continue
+			}
+		}
+		w.expr(r, st)
+	}
+}
+
+// ifStmt handles the TryLock conditional idioms:
+//
+//	if mu.TryLock() { <held> }
+//	if !mu.TryLock() { return }; <held>
+//	ok := mu.TryLock(); if ok { <held> }
+func (w *walker) ifStmt(s *ast.IfStmt, st *walkState) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	tryCI, negated, isTry := w.condTry(s.Cond, st)
+
+	thenSt := st.clone()
+	elseSt := st.clone()
+	if isTry {
+		granted := heldFromCall(w.info, tryCI)
+		if negated {
+			elseSt.add(granted)
+		} else {
+			thenSt.add(granted)
+		}
+	}
+	thenTerm := w.block(s.Body, thenSt)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseSt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		*st = *elseSt
+	case elseTerm:
+		*st = *thenSt
+	default:
+		*st = *merge(thenSt, elseSt)
+	}
+	return false
+}
+
+// condTry evaluates an if condition and reports whether it is a TryLock
+// probe (directly, negated, or via a tracked bool variable).
+func (w *walker) condTry(cond ast.Expr, st *walkState) (ci callInfo, negated, isTry bool) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		ci = classifyCall(w.info, c)
+		if ci.kind == kindAcqTry {
+			w.fire(ci, st)
+			return ci, false, true
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			inner, neg, ok := w.condTry(c.X, st)
+			if ok {
+				return inner, !neg, true
+			}
+			return callInfo{}, false, false
+		}
+	case *ast.Ident:
+		if obj := w.info.Uses[c]; obj != nil {
+			if tci, ok := st.tryVars[obj]; ok {
+				return tci, false, true
+			}
+		}
+		return callInfo{}, false, false
+	}
+	w.expr(cond, st)
+	return callInfo{}, false, false
+}
+
+// loopBody analyzes a loop body twice: once from the entry state, once
+// from the merged after-one-iteration state. The second pass is what
+// exposes iteration-carried holds (a Lock in iteration i still held
+// when iteration i+1 acquires) to lockorder; its events are flagged so
+// other analyzers can skip them.
+func (w *walker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *walkState) {
+	first := st.clone()
+	w.block(body, first)
+	if post != nil {
+		w.stmt(post, first)
+	}
+	after := merge(st, first)
+
+	w.second++
+	again := after.clone()
+	w.block(body, again)
+	if post != nil {
+		w.stmt(post, again)
+	}
+	w.second--
+
+	*st = *merge(after, again)
+}
+
+// caseClauses walks switch cases; the result state is the union of all
+// falling-through branches (plus the no-case-taken path when there is
+// no default).
+func (w *walker) caseClauses(body *ast.BlockStmt, st *walkState) bool {
+	hasDefault := false
+	var fallthroughs []*walkState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cs := st.clone()
+		for _, e := range cc.List {
+			w.expr(e, cs)
+		}
+		term := false
+		for _, s := range cc.Body {
+			if w.stmt(s, cs) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			fallthroughs = append(fallthroughs, cs)
+		}
+	}
+	if !hasDefault {
+		fallthroughs = append(fallthroughs, st.clone())
+	}
+	if len(fallthroughs) == 0 {
+		return true
+	}
+	out := fallthroughs[0]
+	for _, f := range fallthroughs[1:] {
+		out = merge(out, f)
+	}
+	*st = *out
+	return false
+}
+
+func (w *walker) commClauses(body *ast.BlockStmt, st *walkState) bool {
+	var fallthroughs []*walkState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cs := st.clone()
+		if cc.Comm != nil {
+			w.stmt(cc.Comm, cs)
+		}
+		term := false
+		for _, s := range cc.Body {
+			if w.stmt(s, cs) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			fallthroughs = append(fallthroughs, cs)
+		}
+	}
+	if len(fallthroughs) == 0 {
+		return true
+	}
+	out := fallthroughs[0]
+	for _, f := range fallthroughs[1:] {
+		out = merge(out, f)
+	}
+	*st = *out
+	return false
+}
+
+// deferStmt registers deferred releases: a direct `defer mu.Unlock()`,
+// or releases inside a one-level `defer func() { ... }()` literal.
+func (w *walker) deferStmt(s *ast.DeferStmt, st *walkState) {
+	ci := classifyCall(w.info, s.Call)
+	if ci.kind == kindRelease {
+		st.deferred[lockKeyOf(ci.recv, ci.read)] = true
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if inner := classifyCall(w.info, call); inner.kind == kindRelease {
+					st.deferred[lockKeyOf(inner.recv, inner.read)] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.exprArgsOnly(s.Call, st)
+}
+
+// expr walks an expression, firing events for every classified call in
+// evaluation order. Function literals are analyzed as separate functions
+// with an empty held set (the literal may run at any time, not at its
+// textual position).
+func (w *walker) expr(e ast.Expr, st *walkState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkFunc(w.info, n.Body, w.hooks)
+			return false
+		case *ast.CallExpr:
+			ci := classifyCall(w.info, n)
+			if ci.kind != kindNone || ci.callee != nil {
+				// Walk arguments first (evaluation order), then fire.
+				// Unclassified-but-resolved calls fire onCall so the
+				// analyzers can consult their call-graph summaries.
+				for _, a := range n.Args {
+					w.expr(a, st)
+				}
+				w.fire(ci, st)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// exprArgsOnly walks only the arguments of a call (used for go/defer,
+// where the call itself runs elsewhere).
+func (w *walker) exprArgsOnly(call *ast.CallExpr, st *walkState) {
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+}
+
+func heldFromCall(info *types.Info, ci callInfo) heldLock {
+	h := heldLock{name: ci.name, read: ci.read, pos: ci.call.Pos()}
+	switch ci.kind {
+	case kindLogicalAcq:
+		h.logical = true
+		if ci.level >= 0 {
+			h.class = "oltp/" + levelNames[ci.level]
+		}
+	default:
+		h.key = lockKeyOf(ci.recv, ci.read)
+		h.class = classOf(info, ci.recv)
+	}
+	return h
+}
+
+// fire dispatches one classified call against the current state.
+func (w *walker) fire(ci callInfo, st *walkState) {
+	second := w.second > 0
+	switch ci.kind {
+	case kindAcqPark, kindAcqNoPark:
+		if w.hooks.onAcquire != nil {
+			w.hooks.onAcquire(ci, append([]heldLock(nil), st.held...), second)
+		}
+		st.add(heldFromCall(w.info, ci))
+	case kindAcqTry:
+		// Caller (ifStmt/bindTry) decides which branch holds the lock.
+		if w.hooks.onAcquire != nil {
+			w.hooks.onAcquire(ci, append([]heldLock(nil), st.held...), second)
+		}
+	case kindLogicalAcq:
+		if w.hooks.onAcquire != nil {
+			w.hooks.onAcquire(ci, append([]heldLock(nil), st.held...), second)
+		}
+		st.add(heldFromCall(w.info, ci))
+	case kindRelease:
+		st.release(lockKeyOf(ci.recv, ci.read))
+	case kindPolicyWait, kindTicketSleep:
+		if w.hooks.onPark != nil {
+			w.hooks.onPark(ci, append([]heldLock(nil), st.held...), second)
+		}
+	default:
+		if w.hooks.onCall != nil {
+			w.hooks.onCall(ci, append([]heldLock(nil), st.held...), second)
+		}
+	}
+}
+
+// isTerminalCall recognizes calls that do not return: panic, os.Exit,
+// runtime.Goexit, (log.Logger).Fatal*, testing Fatal/FailNow.
+func isTerminalCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		name, pkg := fn.Name(), fn.Pkg().Path()
+		switch {
+		case pkg == "os" && name == "Exit",
+			pkg == "runtime" && name == "Goexit",
+			pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+				name == "Panic" || name == "Panicf" || name == "Panicln"):
+			return true
+		}
+	}
+	return false
+}
+
+// funcFacts is the one-level call-graph summary nestedpark and lockorder
+// consume: does calling fn (transitively, within its package) reach a
+// parking point, and which lock classes does it blocking-acquire?
+type funcFacts struct {
+	parks    bool
+	parkWhat string          // description of the parking point, for reports
+	classes  map[string]bool // order classes of blocking acquires
+}
+
+// computeFacts builds per-function summaries for one package, closed
+// transitively over same-package calls. Function literals are excluded:
+// a closure's body runs when it is invoked, which the flat scan cannot
+// place.
+func computeFacts(pkg *Package) map[*types.Func]*funcFacts {
+	type rawFact struct {
+		facts   *funcFacts
+		callees map[*types.Func]bool
+	}
+	raw := make(map[*types.Func]*rawFact)
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			rf := &rawFact{
+				facts:   &funcFacts{classes: map[string]bool{}},
+				callees: map[*types.Func]bool{},
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ci := classifyCall(pkg.Info, call)
+				switch ci.kind {
+				case kindAcqPark:
+					if !rf.facts.parks {
+						rf.facts.parks = true
+						rf.facts.parkWhat = ci.name + " on " + types.ExprString(ci.recv)
+					}
+					if c := classOf(pkg.Info, ci.recv); c != "" {
+						rf.facts.classes[c] = true
+					}
+				case kindAcqNoPark:
+					if c := classOf(pkg.Info, ci.recv); c != "" {
+						rf.facts.classes[c] = true
+					}
+				case kindPolicyWait, kindTicketSleep:
+					if !rf.facts.parks {
+						rf.facts.parks = true
+						rf.facts.parkWhat = "policy wait (" + ci.name + ")"
+					}
+				case kindNone:
+					if ci.callee != nil && ci.callee.Pkg() == pkg.Types {
+						rf.callees[ci.callee] = true
+					}
+				}
+				return true
+			})
+			raw[fn] = rf
+		}
+	}
+
+	// Transitive closure over the same-package call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, rf := range raw {
+			for callee := range rf.callees {
+				crf, ok := raw[callee]
+				if !ok {
+					continue
+				}
+				if crf.facts.parks && !rf.facts.parks {
+					rf.facts.parks = true
+					rf.facts.parkWhat = crf.facts.parkWhat
+					changed = true
+				}
+				for c := range crf.facts.classes {
+					if !rf.facts.classes[c] {
+						rf.facts.classes[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	out := make(map[*types.Func]*funcFacts, len(raw))
+	for fn, rf := range raw {
+		out[fn] = rf.facts
+	}
+	return out
+}
+
+// forEachFuncDecl walks every function declaration in the package.
+func forEachFuncDecl(pkg *Package, visit func(fd *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}

@@ -231,11 +231,12 @@ func (lm *lockManager) stripeFor(id ResourceID) *lmStripe {
 // lock takes a stripe latch, counting physical contention: a TryLock
 // miss means another goroutine was in the lock table right now.
 func (lm *lockManager) lock(st *lmStripe) {
+	//lint:allow lockpair acquire helper by contract: every caller releases st.latch
 	if st.latch.TryLock() {
 		return
 	}
 	lm.m.LatchMisses.Add(1)
-	st.latch.Lock()
+	st.latch.Lock() //lint:allow lockpair acquire helper by contract: every caller releases st.latch
 }
 
 // grantable reports whether txn may hold mode given the other current
@@ -334,7 +335,10 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	// shape golc's LockCtx gives physical waiters.
 	blockers := blockersOf(l, txn, goal)
 	w := &waiter{txn: txn, mode: goal, ready: make(chan struct{})}
-	w.ctx, w.cancel = context.WithCancel(context.Background())
+	// The wait context derives from the transaction's own: a deadlock
+	// policy kills the victim through w.cancel, and the caller walking
+	// away (BeginCtx/RunCtx) cancels the same wait from above.
+	w.ctx, w.cancel = context.WithCancel(txn.ctx)
 	defer w.cancel() // release the context's resources on every path
 	l.waiters = append(l.waiters, w)
 	st.latch.Unlock()
@@ -395,6 +399,17 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	lm.maybeFree(st, id, l)
 	st.latch.Unlock()
 	lm.policy.onWake(txn)
+	if cerr := txn.ctx.Err(); cerr != nil {
+		// The caller's own context ended the wait (RunCtx/BeginCtx).
+		// This is not a deadlock victim: the transaction would not win
+		// anything by being retried older, because nobody is waiting for
+		// the answer anymore. Surface the caller's error, terminally.
+		lm.m.CtxCancels.Add(1)
+		if lm.rec.Enabled() {
+			lm.rec.Event(obs.EvTxnAbort, id.String(), "ctx-cancel", int64(txn.tid))
+		}
+		return fmt.Errorf("oltp: lock wait on %s cancelled by caller: %w", id, cerr)
+	}
 	if w.ctx.Err() != nil {
 		// A policy ordered the abort. Checked before the timer so a
 		// cancellation that raced the timeout is credited to the

@@ -61,6 +61,7 @@
 package oltp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -205,6 +206,7 @@ type Metrics struct {
 	Escalations    atomic.Uint64 // record→partition lock escalations
 	LockWaits      atomic.Uint64 // logical lock requests that blocked
 	LatchMisses    atomic.Uint64 // lock-table latch TryLock misses (physical contention)
+	CtxCancels     atomic.Uint64 // lock waits ended by the caller's context (not a deadlock victim)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics, JSON-friendly.
@@ -219,6 +221,7 @@ type MetricsSnapshot struct {
 	Escalations    uint64 `json:"escalations"`
 	LockWaits      uint64 `json:"lock_waits"`
 	LatchMisses    uint64 `json:"latch_misses"`
+	CtxCancels     uint64 `json:"ctx_cancels"`
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
@@ -233,6 +236,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		Escalations:    m.Escalations.Load(),
 		LockWaits:      m.LockWaits.Load(),
 		LatchMisses:    m.LatchMisses.Load(),
+		CtxCancels:     m.CtxCancels.Load(),
 	}
 }
 
@@ -321,12 +325,19 @@ func (db *DB) Close() { db.lm.close() }
 
 // Begin starts a transaction with a fresh begin-timestamp. Prefer Run,
 // which also handles abort-and-retry.
-func (db *DB) Begin() *Txn { return db.begin(db.tids.Add(1)) }
+func (db *DB) Begin() *Txn { return db.begin(context.Background(), db.tids.Add(1)) }
 
-func (db *DB) begin(tid uint64) *Txn {
+// BeginCtx is Begin with a caller context: every logical lock wait the
+// transaction enters is cancelled when ctx is — the wait returns an
+// error wrapping ctx.Err() (not an AbortError: a caller cancellation is
+// terminal, not a retry signal), counted in Metrics.CtxCancels.
+func (db *DB) BeginCtx(ctx context.Context) *Txn { return db.begin(ctx, db.tids.Add(1)) }
+
+func (db *DB) begin(ctx context.Context, tid uint64) *Txn {
 	db.m.Begins.Add(1)
 	return &Txn{
 		db:       db,
+		ctx:      ctx,
 		tid:      tid,
 		held:     make(map[ResourceID]Mode),
 		recCount: make(map[ResourceID]int),
@@ -350,11 +361,22 @@ func (db *DB) begin(tid uint64) *Txn {
 // ErrCallerAborted instead of the old confusing ErrTxnDone from a
 // doomed Commit call.
 func (db *DB) Run(fn func(*Txn) error) error {
+	return db.RunCtx(context.Background(), fn)
+}
+
+// RunCtx is Run bound to a caller context (a request context in
+// lcserve, a test deadline): the retry loop stops between attempts when
+// ctx is cancelled, backoff sleeps wake on cancellation, and every
+// logical lock wait inside an attempt is cancellable (see BeginCtx).
+// Cancellation surfaces as an error wrapping ctx.Err() and is never
+// retried — unlike a deadlock-victim abort, the transaction is not
+// going to be re-run older and win; the caller has left.
+func (db *DB) RunCtx(ctx context.Context, fn func(*Txn) error) error {
 	var t0 int64
 	if db.rec.Enabled() {
 		t0 = db.rec.Now()
 	}
-	err := db.run(fn)
+	err := db.run(ctx, fn)
 	if err == nil && t0 != 0 {
 		// Commit latency is end-to-end: every aborted attempt and
 		// backoff sleep a caller sat through counts against it.
@@ -363,10 +385,13 @@ func (db *DB) Run(fn func(*Txn) error) error {
 	return err
 }
 
-func (db *DB) run(fn func(*Txn) error) error {
+func (db *DB) run(ctx context.Context, fn func(*Txn) error) error {
 	tid := db.tids.Add(1)
 	for attempt := 0; ; attempt++ {
-		t := db.begin(tid)
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("oltp: run cancelled before attempt %d: %w", attempt+1, cerr)
+		}
+		t := db.begin(ctx, tid)
 		err := fn(t)
 		if err == nil {
 			switch {
@@ -402,8 +427,14 @@ func (db *DB) run(fn func(*Txn) error) error {
 		}
 		db.m.Retries.Add(1)
 		// Capped exponential backoff: give the transaction that killed
-		// us time to finish before we re-collide with it.
-		backoff := 20 * time.Microsecond << min(attempt, 6)
-		time.Sleep(backoff)
+		// us time to finish before we re-collide with it. The sleep
+		// wakes early if the caller gives up (the cancellation itself is
+		// reported by the ctx.Err() check at the top of the next lap).
+		backoff := time.NewTimer(20 * time.Microsecond << min(attempt, 6))
+		select {
+		case <-backoff.C:
+		case <-ctx.Done():
+			backoff.Stop()
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package oltp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,7 +26,12 @@ const (
 // commit. Use DB.Run for automatic abort-and-retry; Begin/Commit/Abort
 // are the manual API.
 type Txn struct {
-	db       *DB
+	db *DB
+	// ctx is the caller's context (never nil; Begin uses Background).
+	// Logical lock waits derive their cancellable wait context from it,
+	// so the caller leaving kills the wait just like a deadlock victim
+	// order does — except it is terminal rather than retried.
+	ctx      context.Context
 	tid      uint64 // begin-timestamp: smaller = older, wins age-based conflicts
 	state    txnState
 	held     map[ResourceID]Mode
