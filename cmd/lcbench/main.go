@@ -102,6 +102,7 @@ func main() {
 		swapTo      = flag.String("swap-to", "lc", "with -swap-at: contention policy after the flip")
 		escalate    = flag.Int("escalate", 0, "with -oltp: record->partition escalation threshold (0: default 64; <0: disabled)")
 		traceFl     = flag.String("trace", "", "write the run's flight-recorder events as Chrome trace JSON (Perfetto) to this file; works in every mode, one trace process per phase/runtime")
+		blameFl     = flag.Bool("blame", false, "print each phase's who-blocks-whom blame leaderboard (sampled waiter/holder acquire sites); works in every mode")
 		obscheck    = flag.Bool("obscheck", false, "measure flight-recorder overhead on the uncontended Lock/Unlock path (enabled vs disabled) and exit 1 if it exceeds -obs-maxpct")
 		obsMaxPct   = flag.Float64("obs-maxpct", 5, "with -obscheck: maximum tolerated overhead in percent")
 		records     = flag.Int("records", 16, "with -workload conflict: records touched per transaction")
@@ -112,6 +113,7 @@ func main() {
 	)
 	flag.Parse()
 	tracePath = *traceFl
+	blameOn = *blameFl
 	if *obscheck {
 		runObsCheck(*obsMaxPct)
 		return
@@ -317,18 +319,24 @@ func main() {
 
 // tracePath is the -trace destination ("" = tracing off); traceProcs
 // accumulates one Chrome-trace process per phase/runtime until
-// writeTrace flushes them. lcbench is single-threaded outside its
-// worker pools, so plain package state suffices.
+// writeTrace flushes them. blameOn is the -blame switch. lcbench is
+// single-threaded outside its worker pools, so plain package state
+// suffices.
 var (
 	tracePath  string
 	traceProcs []obs.TraceProc
+	blameOn    bool
 )
 
-// tracePhase drains the flight-recorder ring of one phase's runtime
-// into the pending trace under its own process id, so phases that reuse
-// timestamps near zero (each runtime's clock starts at its creation)
-// land on separate Perfetto track groups instead of colliding.
+// tracePhase is the end-of-phase reporting hook: it drains the
+// flight-recorder ring of one phase's runtime into the pending trace
+// under its own process id (so phases that reuse timestamps near zero
+// land on separate Perfetto track groups instead of colliding), and
+// with -blame prints the phase's blame leaderboard.
 func tracePhase(name string, rt *lcrt.Runtime) {
+	if blameOn {
+		printBlame(name, rt)
+	}
 	if tracePath == "" {
 		return
 	}
@@ -337,6 +345,29 @@ func tracePhase(name string, rt *lcrt.Runtime) {
 		Name:   name,
 		Events: rt.Recorder().Ring().Since(0),
 	})
+}
+
+// printBlame renders one phase's who-blocks-whom leaderboard: the top
+// blame edges (waiter site, holder site, lock) by blocked time. Edges
+// are sampled (obs.DefaultBlameSampling), so the counts undercount by
+// the sampling rate; the RANKING is what the report is for.
+func printBlame(name string, rt *lcrt.Runtime) {
+	rec := rt.Recorder()
+	top := rec.BlameTop(10)
+	if len(top) == 0 {
+		fmt.Printf("blame[%s]: no sampled contention\n", name)
+		return
+	}
+	fmt.Printf("blame[%s]: top blocked->blamed edges (1-in-%d sampling, dropped=%d)\n",
+		name, rec.BlameSampling(), rec.BlameDropped())
+	for _, e := range top {
+		holder := e.Holder
+		if holder == "" {
+			holder = "unknown"
+		}
+		fmt.Printf("  %-42s <- %-42s lock=%-16s blocks=%-6d blocked=%v\n",
+			e.Waiter, holder, e.Lock, e.Count, time.Duration(e.Ns).Round(time.Microsecond))
+	}
 }
 
 // writeTrace flushes the collected phases to -trace as Chrome trace
@@ -407,6 +438,51 @@ func runObsCheck(maxPct float64) {
 		off, on, pct, maxPct)
 	if pct > maxPct {
 		fmt.Fprintln(os.Stderr, "lcbench: flight-recorder overhead exceeds the budget")
+		os.Exit(1)
+	}
+	checkBlameCapture()
+}
+
+// checkBlameCapture is the functional half of the obscheck gate: the
+// overhead loop above never contends, so it can never reach the blame
+// code (which lives on the contended slow path). This companion check
+// forces contention with blame sampling at 1 and asserts the recorder
+// actually captured waiter sites — the site-sampling pipeline stays
+// covered by the same CI entry point that bounds its cost.
+func checkBlameCapture() {
+	rt := lcrt.New(lcrt.Options{})
+	rt.Start()
+	defer rt.Stop()
+	rt.Recorder().SetBlameSampling(1)
+	mu := golc.New("obscheck-blame", golc.WithRuntime(rt))
+
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				spinFor(2 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	edges := rt.Recorder().BlameEdges()
+	fmt.Printf("obscheck: blame capture under contention: %d edge(s)\n", len(edges))
+	if len(edges) == 0 {
+		fmt.Fprintln(os.Stderr, "lcbench: no blame edges recorded under forced contention — site sampling is broken")
 		os.Exit(1)
 	}
 }

@@ -13,6 +13,9 @@
 //	curl localhost:8080/stats          # runtime + per-latch snapshot + histogram percentiles
 //	curl localhost:8080/metrics        # Prometheus text format (histograms included)
 //	curl 'localhost:8080/trace?sec=2'  # 2s flight-recorder dump, Chrome trace JSON (Perfetto)
+//	curl localhost:8080/stats/history  # retained snapshot series: per-lock wait p50/p99, blame top-K, convoy flags
+//	curl -o contention.pb.gz localhost:8080/debug/contention  # blame profile (go tool pprof contention.pb.gz)
+//	curl 'localhost:8080/debug/contention?fmt=folded'         # folded stacks for flamegraph tooling
 //	curl localhost:8080/debug/vars     # expvar (includes "golc")
 //	curl localhost:8080/policy         # current latch contention policy
 //	curl -X POST -d lc localhost:8080/policy   # hot-swap every latch's policy
@@ -91,6 +94,7 @@ func main() {
 		mode     = flag.String("mode", "load-control", "latch mode: load-control, spin or std")
 		policyFl = flag.String("policy", "waitdie", "deadlock policy for /txn transactions: waitdie or detect")
 		loadgen  = flag.Bool("loadgen", false, "run the built-in load generator and exit")
+		target   = flag.String("target", "", "loadgen drives this running lcserve base URL (e.g. http://localhost:8080) instead of spawning its own phases")
 		conns    = flag.Int("conns", 0, "loadgen client goroutines (0: 32x the multiprogramming level)")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen measurement window per phase")
 		keys     = flag.Int("keys", 512, "loadgen keyspace size")
@@ -99,6 +103,12 @@ func main() {
 		pprofFl  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		mutexFr  = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for the pprof mutex profile (0: off, 1: every event)")
 		blockRt  = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate threshold in ns for the pprof block profile (0: off, 1: every event)")
+		holdSmp  = flag.Int("hold-sampling", obs.DefaultHoldSampling, "record 1-in-N lock holds (rounded up to a power of two; 1: every hold)")
+		eventSmp = flag.Int("event-sampling", obs.DefaultEventSampling, "keep 1-in-N flight-recorder events (1: every event)")
+		blameSmp = flag.Int("blame-sampling", obs.DefaultBlameSampling, "blame-sample 1-in-N contended acquisitions (rounded up to a power of two; 1: every one)")
+		mTop     = flag.Int("metrics-top", 8, "per-lock /metrics series cutoff: export only the N most contended locks (golc_metrics_locks_dropped counts the rest)")
+		histIv   = flag.Duration("history-interval", time.Second, "/stats/history snapshot cadence")
+		histKeep = flag.Duration("history-retention", 5*time.Minute, "/stats/history retention window")
 	)
 	flag.Parse()
 
@@ -113,6 +123,19 @@ func main() {
 	}
 
 	if *loadgen {
+		// Target mode: the client half only, aimed at an lcserve that is
+		// already running — the way to put real concurrent load (and so
+		// real blame edges, wait histograms, history trends) into a
+		// server you are watching with lctop or scraping in CI. Shell
+		// loops around curl cannot do this: process spawn costs
+		// milliseconds while the conflict windows last microseconds.
+		if *target != "" {
+			if *conns <= 0 {
+				*conns = 64
+			}
+			driveTarget(strings.TrimRight(*target, "/"), *conns, *duration, *keys)
+			return
+		}
 		// The paper's pathology needs more OS threads than CPUs: a
 		// latch holder the kernel deschedules mid-critical-section
 		// while spinner threads burn whole quanta. Raising GOMAXPROCS
@@ -147,8 +170,22 @@ func main() {
 		store.Shards(), store.Policy().Name(), db.PolicyName(), *addr)
 	// Serve mode registers every latch with the process-wide runtime
 	// (kv.Options.Runtime nil), so that is the runtime the handler's
-	// stats/metrics/trace endpoints observe.
-	if err := http.ListenAndServe(*addr, newHandler(store, db, lcrt.Default(), *pprofFl)); err != nil {
+	// stats/metrics/trace endpoints observe. The sampling flags take
+	// effect on its recorder before any traffic arrives.
+	rt := lcrt.Default()
+	rec := rt.Recorder()
+	rec.SetHoldSampling(*holdSmp)
+	rec.SetEventSampling(*eventSmp)
+	rec.SetBlameSampling(*blameSmp)
+	hist := lcrt.NewHistory(rt, lcrt.HistoryOptions{Interval: *histIv, Retention: *histKeep})
+	hist.Start()
+	defer hist.Stop()
+	h := newHandler(store, db, rt, handlerConfig{
+		withPprof:  *pprofFl,
+		metricsTop: *mTop,
+		history:    hist,
+	})
+	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -257,13 +294,34 @@ func handleTxn(db *oltp.DB, w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(txnResponse{Committed: true, Results: results})
 }
 
+// handlerConfig tunes the observability surface of a handler.
+type handlerConfig struct {
+	// withPprof mounts net/http/pprof under /debug/pprof/.
+	withPprof bool
+	// metricsTop caps the per-lock series /metrics exports (0: the
+	// historical default of 8); the remainder is counted by the
+	// golc_metrics_locks_dropped gauge.
+	metricsTop int
+	// history, when non-nil, feeds /stats/history. Loadgen phases leave
+	// it nil (they live for seconds); the endpoint then serves an empty
+	// series rather than 404ing, so pollers need no special case.
+	history *lcrt.History
+}
+
+func (c handlerConfig) topN() int {
+	if c.metricsTop <= 0 {
+		return 8
+	}
+	return c.metricsTop
+}
+
 // newHandler builds the service mux for one store. rt is the
 // load-control runtime the store's latches registered with — the
 // observability endpoints (/stats, /metrics, /trace) read it directly
 // rather than going through the process-wide expvar, so a handler built
 // over a private runtime (as each HTTP loadgen phase does) reports its
 // own runtime, not the Default one.
-func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, withPprof bool) http.Handler {
+func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, cfg handlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
 		key := strings.TrimPrefix(r.URL.Path, "/kv/")
@@ -359,6 +417,7 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, withPprof bool) 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		snap := rt.Snapshot()
+		rec := rt.Recorder()
 		latches, err := json.Marshal(store.LatchStats())
 		if err != nil {
 			latches = []byte("null")
@@ -371,14 +430,72 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, withPprof bool) 
 		if err != nil {
 			hists = []byte("null")
 		}
-		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,"latches":%s,"oltp":%s,"hists":%s,"top_locks":%s,"runtime":%s}`+"\n",
+		blameTop, err := json.Marshal(rec.BlameTop(10))
+		if err != nil {
+			blameTop = []byte("null")
+		}
+		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,`+
+			`"sampling":{"hold":%d,"event":%d,"blame":%d},"blame_dropped":%d,"blame_top":%s,`+
+			`"latches":%s,"oltp":%s,"hists":%s,"top_locks":%s,"runtime":%s}`+"\n",
 			store.Shards(), store.Len(), store.Policy().Name(), db.PolicyName(),
-			db.LockEntries(), latches, oltpStats, hists,
+			db.LockEntries(),
+			rec.HoldSampling(), rec.EventSampling(), rec.BlameSampling(),
+			rec.BlameDropped(), blameTop,
+			latches, oltpStats, hists,
 			topLocksJSON(snap), snapshotJSON(snap))
+	})
+	// Blame time series: the bounded ring of periodic snapshots — the
+	// feed lctop (and eventually a policy controller) polls. ?since=N
+	// (unix ns) skips records the poller already has.
+	mux.HandleFunc("/stats/history", func(w http.ResponseWriter, r *http.Request) {
+		var since int64
+		if s := r.URL.Query().Get("since"); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since (want unix nanoseconds)", http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		recs := []lcrt.HistoryRecord{}
+		var opts lcrt.HistoryOptions
+		if cfg.history != nil {
+			recs = cfg.history.Since(since)
+			opts = cfg.history.Options()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		resp := struct {
+			IntervalNs  int64                `json:"interval_ns"`
+			ConvoyP99Ns int64                `json:"convoy_p99_ns"`
+			ConvoyTicks int                  `json:"convoy_ticks"`
+			Records     []lcrt.HistoryRecord `json:"records"`
+		}{int64(opts.Interval), int64(opts.ConvoyP99), opts.ConvoyTicks, recs}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			fmt.Fprintln(os.Stderr, "lcserve: /stats/history:", err)
+		}
+	})
+	// The contention blame profile: who-blocks-whom edges as a pprof
+	// protobuf (loads in `go tool pprof`) or, with ?fmt=folded, as
+	// folded stacks for flamegraph tooling.
+	mux.HandleFunc("/debug/contention", func(w http.ResponseWriter, r *http.Request) {
+		rec := rt.Recorder()
+		edges := rec.BlameEdges()
+		if r.URL.Query().Get("fmt") == "folded" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := obs.WriteBlameFolded(w, edges); err != nil {
+				fmt.Fprintln(os.Stderr, "lcserve: /debug/contention:", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="contention.pb.gz"`)
+		if err := obs.WriteBlameProfile(w, edges, int64(rec.BlameSampling())); err != nil {
+			fmt.Fprintln(os.Stderr, "lcserve: /debug/contention:", err)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := writeProm(w, store, db, rt); err != nil {
+		if err := writeProm(w, store, db, rt, cfg.topN()); err != nil {
 			// Headers are gone by now; all we can do is not pretend the
 			// scrape succeeded.
 			fmt.Fprintln(os.Stderr, "lcserve: /metrics:", err)
@@ -419,7 +536,7 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, withPprof bool) 
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
-	if withPprof {
+	if cfg.withPprof {
 		// net/http/pprof registers only on http.DefaultServeMux, which
 		// this server never installs — mount its handlers explicitly.
 		// The mutex/block profiles need their samplers switched on; see
@@ -481,11 +598,11 @@ func snapshotJSON(snap lcrt.Snapshot) string {
 
 // writeProm renders the whole observability surface in Prometheus text
 // exposition format 0.0.4: runtime counters and gauges, the global
-// wait/hold/park latency histograms, per-lock histograms for the most
-// contended locks, and the oltp transaction counters plus its
-// commit-latency and logical-lock-wait histograms. Buckets are
+// wait/hold/park latency histograms, per-lock histograms for the
+// topN most contended locks, and the oltp transaction counters plus
+// its commit-latency and logical-lock-wait histograms. Buckets are
 // log-scaled powers of two in seconds (see internal/golc/obs).
-func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime) error {
+func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, topN int) error {
 	pw := obs.NewPromWriter(w)
 	snap := rt.Snapshot()
 
@@ -513,8 +630,16 @@ func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime) erro
 	// Per-lock series for the hottest locks only: one series per
 	// registered lock would blow up scrape cardinality on stores with
 	// hundreds of shards. Families stay grouped (all waits, then all
-	// holds) as the text format requires.
-	top := snap.TopContended(8)
+	// holds) as the text format requires. The truncation is visible:
+	// golc_metrics_locks_dropped counts the contended locks the cutoff
+	// hid this scrape (-metrics-top raises it).
+	contended := snap.TopContended(-1)
+	top := contended
+	if len(top) > topN {
+		top = top[:topN]
+	}
+	pw.Gauge("golc_metrics_locks_dropped", "Contended locks omitted from the per-lock series by the -metrics-top cutoff.",
+		nil, float64(len(contended)-len(top)))
 	for _, ls := range top {
 		pw.Histogram("golc_lock_wait_seconds", "Per-lock acquisition wait time (top contended).",
 			[]obs.Label{{Key: "lock", Value: ls.Name}}, ls.Wait)
@@ -523,6 +648,8 @@ func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime) erro
 		pw.Histogram("golc_lock_hold_seconds", "Per-lock sampled hold time (top contended).",
 			[]obs.Label{{Key: "lock", Value: ls.Name}}, ls.Hold)
 	}
+	pw.Counter("golc_blame_samples_dropped_total", "Blame edges dropped because the matrix cell table was saturated.",
+		nil, rt.Recorder().BlameDropped())
 
 	m := db.Metrics()
 	pw.Counter("oltp_begins_total", "Transactions begun.", nil, m.Begins)
@@ -618,7 +745,7 @@ func runPhase(pol golc.ContentionPolicy, shards, stripes, conns int, duration ti
 			os.Exit(1)
 		}
 		srv := &http.Server{Handler: newHandler(store, oltp.New(store,
-			oltp.Options{Runtime: rt, MaxRetries: oltp.DefaultMaxRetries}), rt, false)}
+			oltp.Options{Runtime: rt, MaxRetries: oltp.DefaultMaxRetries}), rt, handlerConfig{})}
 		go srv.Serve(ln)
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        conns,
@@ -679,6 +806,70 @@ func runPhase(pol golc.ContentionPolicy, shards, stripes, conns int, duration ti
 			pol.Name(), n)
 	}
 	return res
+}
+
+// driveTarget aims conns client goroutines at a running lcserve for
+// duration: the loadgen kv op mix plus a slice of deliberately
+// conflicting multi-op transactions on a two-key hot set, so the
+// target's shard latches AND its logical lock manager both see real
+// concurrent contention — which is what fills the blame matrix, the
+// wait histograms, and the history series an operator (or CI) then
+// reads back.
+func driveTarget(base string, conns int, duration time.Duration, keys int) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+	}}
+	const txnBody = `{"ops":[{"op":"read","table":"hot","key":"h1"},` +
+		`{"op":"write","table":"hot","key":"h1","value":"x"},` +
+		`{"op":"write","table":"hot","key":"h2","value":"x"}]}`
+	fmt.Printf("lcserve loadgen: driving %s with %d client goroutines for %v\n",
+		base, conns, duration)
+	var ops, errs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok := false
+				if i%4 == 3 {
+					// A wait-die loser answers 409: the server worked,
+					// the conflict is the point — not an error.
+					resp, err := client.Post(base+"/txn", "application/json", strings.NewReader(txnBody))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						ok = resp.StatusCode < 500
+					}
+				} else {
+					ok = httpOp(client, base, worker, i, keys)
+				}
+				if ok {
+					ops.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	fmt.Printf("loadgen -target: %.0f ops/s (%d ops, %d errors, %v)\n",
+		float64(ops.Load())/elapsed.Seconds(), ops.Load(), errs.Load(), elapsed.Round(time.Millisecond))
+	if errs.Load() > ops.Load()/10 {
+		fmt.Fprintln(os.Stderr, "loadgen -target: error rate over 10%")
+		os.Exit(1)
+	}
 }
 
 func keyName(i int) string { return fmt.Sprintf("user:%05d", i) }

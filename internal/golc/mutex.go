@@ -70,6 +70,13 @@ type Mutex struct {
 	// single CAS), so TryLock-ed holds are simply never sampled.
 	holdSeq   uint64
 	holdStart int64
+
+	// ownSite shadows the handle's published holder site (which is
+	// atomic, because waiters read it). Like holdStart it is protected
+	// by the mutex itself, so the unlock path learns whether there is
+	// anything to clear from a plain read — zero cost for the unsampled
+	// (overwhelmingly common) case.
+	ownSite uint32
 }
 
 // New returns a mutex named for metrics, registered with the option's
@@ -81,6 +88,7 @@ func New(name string, opts ...Option) *Mutex {
 	c := buildConfig(opts)
 	m := &Mutex{h: c.rt.Register(name)}
 	m.pol.Store(&c.pol)
+	m.h.NotePolicy(c.pol.Name())
 	return m
 }
 
@@ -109,6 +117,7 @@ func (m *Mutex) Policy() ContentionPolicy { return *m.pol.Load() }
 // protocol.
 func (m *Mutex) SetPolicy(p ContentionPolicy) {
 	m.pol.Store(&p)
+	m.h.NotePolicy(p.Name())
 	m.h.Obs().Event(obs.EvPolicySwap, m.h.Name(), p.Name(), 0)
 }
 
@@ -138,6 +147,17 @@ func (m *Mutex) TryLock() bool {
 func (m *Mutex) stampHold() {
 	m.holdSeq++
 	m.holdStart = m.h.HoldStamp(m.holdSeq)
+}
+
+// stampSite publishes this (blame-sampled) acquisition's call site as
+// the lock's current holder site, shadowed in ownSite so Unlock can
+// clear it from a plain read. Only sampled acquirers publish: they
+// already paid for the stack capture, and an always-on publish would
+// put an atomic store on every contended acquisition for pairing that
+// sampling mostly discards anyway.
+func (m *Mutex) stampSite(site obs.SiteID) {
+	m.ownSite = uint32(site)
+	m.h.PublishHolderSite(site)
 }
 
 // Lock acquires the mutex, waiting per the current ContentionPolicy.
@@ -172,8 +192,16 @@ func (m *Mutex) LockCtx(ctx context.Context) error {
 
 func (m *Mutex) lockSlow(ctx context.Context) error {
 	// The wait-time seam: bracketing Wait here (not inside any policy)
-	// is what makes every policy's waits measurable for free.
+	// is what makes every policy's waits measurable for free. Blame
+	// rides the same seam: a sampled waiter captures its own acquire
+	// site and reads whoever holds the lock as the wait begins — that
+	// holder built the convoy this waiter is about to join.
 	start := m.h.WaitStart()
+	waiter := m.h.BlameSample(1)
+	var holder obs.SiteID
+	if waiter != 0 {
+		holder = m.h.HolderSiteID()
+	}
 	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try:  func() bool { return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) },
 		Free: func() bool { return m.state.Load() == 0 },
@@ -188,6 +216,12 @@ func (m *Mutex) lockSlow(ctx context.Context) error {
 		m.h.RecordWait(start)
 	}
 	m.stampHold()
+	if waiter != 0 {
+		m.stampSite(waiter)
+		if start != 0 {
+			m.h.RecordBlame(waiter, holder, start)
+		}
+	}
 	return nil
 }
 
@@ -200,6 +234,12 @@ func (m *Mutex) Unlock() {
 	start := m.holdStart
 	if start != 0 {
 		m.holdStart = 0
+	}
+	if m.ownSite != 0 {
+		// This hold was blame-sampled: retract the published holder
+		// site before the release hands the fields to the next holder.
+		m.ownSite = 0
+		m.h.ClearHolderSite()
 	}
 	if m.state.Swap(0) != 1 {
 		panic("golc: unlock of unlocked mutex")

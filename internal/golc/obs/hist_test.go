@@ -204,3 +204,67 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestQuantileEdgeCases pins Quantile's behavior at the corners of the
+// bucket scheme: empty snapshots, a single sample, the non-positive
+// bucket, the overflow bucket, and within-bucket interpolation when
+// every observation lands in one bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// One sample: every quantile must land inside its bucket ([4,7]
+	// for an observation of 5).
+	single := NewHistogram(1)
+	single.Observe(5)
+	s := single.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := s.Quantile(q); got < 4 || got > 7 {
+			t.Errorf("single-sample Quantile(%v) = %d, want within [4,7]", q, got)
+		}
+	}
+
+	// Non-positive observations land in bucket 0, whose both bounds
+	// are 0.
+	first := NewHistogram(1)
+	first.Observe(0)
+	first.Observe(-12)
+	s = first.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Errorf("bucket-0 Quantile = %d, want 0", got)
+	}
+	if s.Count != 2 || s.Sum != 0 {
+		t.Errorf("bucket-0 snapshot count=%d sum=%d, want 2 and 0", s.Count, s.Sum)
+	}
+
+	// The overflow bucket has no finite upper bound, so Quantile
+	// reports its lower bound rather than inventing an interpolation.
+	over := NewHistogram(1)
+	over.Observe(math.MaxInt64)
+	s = over.Snapshot()
+	if want := int64(1) << (NumBuckets - 2); s.Quantile(0.5) != want {
+		t.Errorf("overflow Quantile = %d, want bucket lower bound %d", s.Quantile(0.5), want)
+	}
+
+	// All mass in one bucket: interpolation must sweep the bucket's
+	// range [512,1023] monotonically and hit the upper bound at q=1.
+	one := NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		one.Observe(512)
+	}
+	s = one.Snapshot()
+	lo, mid, hi := s.Quantile(0.01), s.Quantile(0.5), s.Quantile(1)
+	if lo < 512 || hi > 1023 {
+		t.Errorf("interpolation left the bucket: q01=%d q100=%d, want within [512,1023]", lo, hi)
+	}
+	if !(lo < mid && mid < hi) {
+		t.Errorf("interpolation not strictly monotone within bucket: %d, %d, %d", lo, mid, hi)
+	}
+	if hi != 1023 {
+		t.Errorf("Quantile(1) = %d, want bucket upper bound 1023", hi)
+	}
+}

@@ -31,10 +31,14 @@ import (
 // path; 1-in-256 keeps the distribution honest at a few hundredths of
 // a nanosecond amortized. Events are not sampled by default — they
 // happen on slow paths only (a park, an abort) — but the knob exists
-// for event storms.
+// for event storms. Blame samples pay a runtime.Callers per hit, so
+// they are sampled even though they only ever fire on the contended
+// slow path; 1-in-64 keeps the capture cost far below the waits it
+// measures.
 const (
 	DefaultHoldSampling  = 256
 	DefaultEventSampling = 1
+	DefaultBlameSampling = 64
 
 	defaultRingShards = 8
 	defaultRingSize   = 2048
@@ -48,8 +52,10 @@ const (
 type Recorder struct {
 	start time.Time
 
-	enabled  atomic.Bool
-	holdMask atomic.Uint64 // a hold is sampled when seq&holdMask == 0
+	enabled   atomic.Bool
+	holdMask  atomic.Uint64 // a hold is sampled when seq&holdMask == 0
+	blameMask atomic.Uint64 // a contended acquisition is blame-sampled when seq&blameMask == 0
+	blameSeq  atomic.Uint64 // global blame sequence (contended acquisitions across all locks)
 
 	// Wait is time from first failed acquire attempt to acquisition;
 	// Hold is time from (sampled) acquisition to release; Park is time
@@ -58,7 +64,8 @@ type Recorder struct {
 	Hold *Histogram
 	Park *Histogram
 
-	ring *Ring
+	ring  *Ring
+	blame *blameTable
 }
 
 // NewRecorder returns an enabled recorder with default sampling.
@@ -69,8 +76,10 @@ func NewRecorder() *Recorder {
 		Hold:  NewHistogram(defaultHistShards),
 		Park:  NewHistogram(defaultHistShards / 2),
 		ring:  NewRing(defaultRingShards, defaultRingSize),
+		blame: newBlameTable(),
 	}
 	r.holdMask.Store(DefaultHoldSampling - 1)
+	r.blameMask.Store(DefaultBlameSampling - 1)
 	r.enabled.Store(true)
 	return r
 }
@@ -100,9 +109,30 @@ func (r *Recorder) SetHoldSampling(n int) {
 	r.holdMask.Store(uint64(p - 1))
 }
 
+// HoldSampling returns the active hold sampling rate (1 = every hold).
+func (r *Recorder) HoldSampling() int { return int(r.holdMask.Load()) + 1 }
+
 // SetEventSampling keeps one in every n ring events (n <= 1 keeps
 // all). Sampling is per ring shard, so interleavings stay fair.
 func (r *Recorder) SetEventSampling(n int) { r.ring.setSampling(n) }
+
+// EventSampling returns the active event sampling rate (1 = every
+// event).
+func (r *Recorder) EventSampling() int { return r.ring.Sampling() }
+
+// SetBlameSampling blame-samples one in every n contended acquisitions
+// (n is rounded up to a power of two; n <= 1 samples every one).
+func (r *Recorder) SetBlameSampling(n int) {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	r.blameMask.Store(uint64(p - 1))
+}
+
+// BlameSampling returns the active blame sampling rate (1 = every
+// contended acquisition).
+func (r *Recorder) BlameSampling() int { return int(r.blameMask.Load()) + 1 }
 
 // HoldStamp returns a Now() stamp for a hold that should be sampled,
 // or 0 to skip it. seq is the lock's own acquisition counter; the

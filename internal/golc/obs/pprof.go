@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// pprof exposition for the blame matrix: a hand-rolled encoder for the
+// pprof profile.proto wire format, std-lib only, in the same spirit as
+// the Prometheus text writer (prom.go) and the Chrome-trace writer
+// (trace.go). The subset emitted — sample_type, sample (+labels),
+// mapping, location, function, string_table, time/period — is what
+// `go tool pprof` needs to load, symbolize and rank the profile.
+//
+// Layout choices mirror Go's own mutex profile: each sample is the
+// WAITER's stack (leaf first), its two values are [blocks count,
+// blocked nanoseconds], and the pairing — which holder site and which
+// lock the waiter was blocked on — rides as string labels ("holder",
+// "lock"), so `go tool pprof -tags` shows the who-blocks-whom split
+// without inventing synthetic frames.
+
+// pbuf is a minimal protobuf writer: varints, tagged scalar fields,
+// and length-delimited submessages built in child buffers.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pbuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *pbuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) boolField(field int, v bool) {
+	if !v {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(1)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedUint64s emits a packed repeated uint64/int64 field (proto3
+// default encoding for repeated scalars).
+func (p *pbuf) packedUint64s(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var t pbuf
+	for _, v := range vs {
+		t.varint(v)
+	}
+	p.bytesField(field, t.b)
+}
+
+// profileBuilder accumulates the cross-referenced profile tables.
+type profileBuilder struct {
+	strs    map[string]int64
+	table   []string
+	funcs   map[string]uint64 // function name -> id
+	funcMsg []pbuf
+	locs    map[uint64]uint64 // location key (PC, or synthetic) -> id
+	locMsg  []pbuf
+}
+
+func newProfileBuilder() *profileBuilder {
+	return &profileBuilder{
+		strs:  map[string]int64{"": 0},
+		table: []string{""},
+		funcs: map[string]uint64{},
+		locs:  map[uint64]uint64{},
+	}
+}
+
+func (b *profileBuilder) str(s string) int64 {
+	if id, ok := b.strs[s]; ok {
+		return id
+	}
+	id := int64(len(b.table))
+	b.strs[s] = id
+	b.table = append(b.table, s)
+	return id
+}
+
+func (b *profileBuilder) function(name, file string, startLine int64) uint64 {
+	if id, ok := b.funcs[name]; ok {
+		return id
+	}
+	id := uint64(len(b.funcMsg) + 1)
+	b.funcs[name] = id
+	var f pbuf
+	f.uint64Field(1, id)
+	f.int64Field(2, b.str(name))
+	f.int64Field(3, b.str(name))
+	f.int64Field(4, b.str(file))
+	f.int64Field(5, startLine)
+	b.funcMsg = append(b.funcMsg, f)
+	return id
+}
+
+// locationForPC returns the location id for one captured PC, resolving
+// its (possibly inlined) line chain through runtime.CallersFrames.
+func (b *profileBuilder) locationForPC(pc uintptr) uint64 {
+	if id, ok := b.locs[uint64(pc)]; ok {
+		return id
+	}
+	id := uint64(len(b.locMsg) + 1)
+	b.locs[uint64(pc)] = id
+	var l pbuf
+	l.uint64Field(1, id)
+	l.uint64Field(2, 1) // the one synthetic mapping
+	l.uint64Field(3, uint64(pc))
+	frames := runtime.CallersFrames([]uintptr{pc})
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			var line pbuf
+			line.uint64Field(1, b.function(f.Function, f.File, 0))
+			line.int64Field(2, int64(f.Line))
+			l.bytesField(4, line.b)
+		}
+		if !more {
+			break
+		}
+	}
+	b.locMsg = append(b.locMsg, l)
+	return id
+}
+
+// locationForName returns a synthetic location for a named (logical)
+// site: no address, one line pointing at a function named after the
+// site label.
+func (b *profileBuilder) locationForName(name string) uint64 {
+	fid := b.function(name, "<logical>", 0)
+	key := 1<<63 | fid // cannot collide with real PCs (kernel half)
+	if id, ok := b.locs[key]; ok {
+		return id
+	}
+	id := uint64(len(b.locMsg) + 1)
+	b.locs[key] = id
+	var l pbuf
+	l.uint64Field(1, id)
+	l.uint64Field(2, 1)
+	var line pbuf
+	line.uint64Field(1, fid)
+	l.bytesField(4, line.b)
+	b.locMsg = append(b.locMsg, l)
+	return id
+}
+
+func valueType(b *profileBuilder, typ, unit string) []byte {
+	var v pbuf
+	v.int64Field(1, b.str(typ))
+	v.int64Field(2, b.str(unit))
+	return v.b
+}
+
+func label(b *profileBuilder, key, val string) []byte {
+	var l pbuf
+	l.int64Field(1, b.str(key))
+	l.int64Field(2, b.str(val))
+	return l.b
+}
+
+// WriteBlameProfile writes the blame edges as a gzipped pprof profile
+// with sample types [blocks/count, blocked/nanoseconds]. period is the
+// active blame sampling rate (recorded as the profile's period so
+// tooling can see the sampling, as Go's own profiles do).
+func WriteBlameProfile(w io.Writer, edges []BlameEdge, period int64) error {
+	b := newProfileBuilder()
+	var p pbuf
+
+	p.bytesField(1, valueType(b, "blocks", "count"))
+	p.bytesField(1, valueType(b, "blocked", "nanoseconds"))
+
+	for _, e := range edges {
+		var s pbuf
+		var locIDs []uint64
+		if e.WaiterName != "" {
+			locIDs = []uint64{b.locationForName(e.WaiterName)}
+		} else {
+			for _, pc := range e.WaiterPCs {
+				locIDs = append(locIDs, b.locationForPC(pc))
+			}
+		}
+		if len(locIDs) == 0 {
+			continue
+		}
+		s.packedUint64s(1, locIDs)
+		s.packedUint64s(2, []uint64{e.Count, e.Ns})
+		if e.Lock != "" {
+			s.bytesField(3, label(b, "lock", e.Lock))
+		}
+		s.bytesField(3, label(b, "holder", SiteLabel(e.HolderPCs, e.HolderName)))
+		p.bytesField(2, s.b)
+	}
+
+	// One synthetic mapping spanning the whole address space: the
+	// locations carry their own function/line info, so the mapping
+	// exists only to satisfy tools that want every address mapped.
+	var m pbuf
+	m.uint64Field(1, 1)
+	m.uint64Field(3, ^uint64(0)) // memory_limit
+	m.int64Field(5, b.str("golc"))
+	m.boolField(7, true) // has_functions
+	p.bytesField(3, m.b)
+
+	for _, l := range b.locMsg {
+		p.bytesField(4, l.b)
+	}
+	for _, f := range b.funcMsg {
+		p.bytesField(5, f.b)
+	}
+	for _, s := range b.table {
+		p.stringField(6, s)
+	}
+	p.int64Field(9, time.Now().UnixNano())
+	p.bytesField(11, valueType(b, "blocks", "count"))
+	p.int64Field(12, period)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.b); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteBlameFolded writes the blame edges as folded stacks (one
+// "frame;frame;... value" line per edge, root first, value = blocked
+// nanoseconds) for flamegraph tooling. The lock and the holder are
+// appended as synthetic leaf frames so a flamegraph shows the pairing.
+func WriteBlameFolded(w io.Writer, edges []BlameEdge) error {
+	for _, e := range edges {
+		var frames []string
+		if e.WaiterName != "" {
+			frames = append(frames, e.WaiterName)
+		} else {
+			frames = foldedFrames(e.WaiterPCs)
+		}
+		if len(frames) == 0 {
+			continue
+		}
+		frames = append(frames, "lock:"+e.Lock,
+			"holder:"+SiteLabel(e.HolderPCs, e.HolderName))
+		line := strings.Join(frames, ";")
+		// Folded format separates frames from the value with a space;
+		// spaces inside frames would split the line.
+		line = strings.ReplaceAll(line, " ", "_")
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, " "+uitoa(e.Ns)+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldedFrames symbolizes a leaf-first PC chain into root-first
+// function names, inline frames included.
+func foldedFrames(pcs []uintptr) []string {
+	if len(pcs) == 0 {
+		return nil
+	}
+	var out []string
+	frames := runtime.CallersFrames(pcs)
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			out = append(out, f.Function)
+		}
+		if !more {
+			break
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// uitoa renders a uint64 without strconv (keeping this file's imports
+// minimal is not the point — matching prom.go's dependency footprint
+// is).
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -112,6 +112,9 @@ func (r *Ring) setSampling(n int) {
 	r.sampleEvery.Store(uint64(n))
 }
 
+// Sampling returns the active event sampling rate (1 = every event).
+func (r *Ring) Sampling() int { return int(r.sampleEvery.Load()) }
+
 // emit appends e to the calling goroutine's shard, applying the
 // sampling knob. The shard hint reuses the histogram's stack-address
 // trick so a goroutine's events stay in one shard (and become one

@@ -172,3 +172,53 @@ func TestChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestRingSinceWraparound interleaves timestamp ranges across shards
+// (each emitter goroutine writes its own residue class) and overfills
+// every touched shard, so Since must both walk each shard's wrapped
+// buffer oldest-first and merge-sort across shards.
+func TestRingSinceWraparound(t *testing.T) {
+	const emitters, perEmitter, shardSize = 4, 100, 8
+	r := NewRing(4, shardSize)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				// Residue classes interleave: shard A's survivors
+				// straddle shard B's, so ordering cannot come from
+				// shard order alone.
+				r.emit(Event{TS: int64(i*emitters + g), Type: EvPark})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Len(); got > r.Cap() {
+		t.Fatalf("Len = %d exceeds Cap = %d", got, r.Cap())
+	}
+	all := r.Since(-1)
+	if len(all) != r.Len() {
+		t.Fatalf("Since(-1) returned %d events, Len says %d", len(all), r.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].TS < all[i-1].TS {
+			t.Fatalf("Since(-1) out of order at %d: %d after %d", i, all[i].TS, all[i-1].TS)
+		}
+	}
+
+	const cut = int64(emitters * perEmitter / 2)
+	recent := r.Since(cut)
+	for i, e := range recent {
+		if e.TS < cut {
+			t.Fatalf("Since(%d) leaked older event TS=%d at %d", cut, e.TS, i)
+		}
+		if i > 0 && e.TS < recent[i-1].TS {
+			t.Fatalf("Since(%d) out of order at %d", cut, i)
+		}
+	}
+	if len(recent) == 0 {
+		t.Fatalf("Since(%d) returned nothing; wraparound dropped the newest half", cut)
+	}
+}

@@ -120,6 +120,17 @@ type LockStats struct {
 	SpinningNow     int64  // waiters spinning at snapshot time
 	SleepingNow     int64  // waiters parked at snapshot time
 
+	// Policy names the lock's active contention policy, as reported by
+	// the lock through NotePolicy (empty for locks that never did).
+	Policy string
+
+	// BlameCount/BlameNs are the lock's slice of the blame matrix:
+	// sampled blocked acquisitions and their summed wait nanoseconds
+	// (see obs.DefaultBlameSampling — these undercount by the sampling
+	// rate, like Go's own mutex profile).
+	BlameCount uint64
+	BlameNs    uint64
+
 	// Wait and Hold are the lock's latency distributions: time from
 	// first failed acquire to acquisition, and (sampled, see
 	// obs.DefaultHoldSampling) time from acquisition to release.
@@ -734,6 +745,24 @@ type Handle struct {
 	timeoutWakes    atomic.Uint64
 	unlockWakes     atomic.Uint64
 
+	// blameCount/blameNs mirror the lock's contributions to the blame
+	// matrix, so per-lock stats can show blame volume without scanning
+	// the matrix.
+	blameCount atomic.Uint64
+	blameNs    atomic.Uint64
+
+	// holderSite is the blame-sampled acquire site of the current
+	// holder (an obs.SiteID, 0 when unknown). It is atomic — waiters
+	// read it while the lock is held by someone else — but only ever
+	// written by a holder: a blame-sampled acquirer publishes its site
+	// after acquiring, and the matching release clears it. Unsampled
+	// holders leave it zero, so waiters see "unknown holder" rather
+	// than a stale site.
+	holderSite atomic.Uint64
+
+	// policy names the lock's active contention policy (NotePolicy).
+	policy atomic.Pointer[string]
+
 	// wait and hold are the lock's latency histograms; RecordWait and
 	// RecordHold feed both them and the runtime's global ones.
 	wait *obs.Histogram
@@ -780,6 +809,69 @@ func (h *Handle) RecordHold(start int64) {
 	d := rec.Now() - start
 	h.hold.Observe(d)
 	rec.Hold.Observe(d)
+}
+
+// NotePolicy records the name of the lock's active contention policy,
+// for stats and dashboards. Locks call it at construction and on every
+// hot-swap.
+func (h *Handle) NotePolicy(name string) { h.policy.Store(&name) }
+
+// PolicyName returns the name last recorded by NotePolicy ("" if none).
+func (h *Handle) PolicyName() string {
+	if p := h.policy.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// BlameSample decides whether this contended acquisition is
+// blame-sampled and, when it is, captures the caller's acquire site
+// (skipping skip extra frames above BlameSample's caller). Returns 0
+// when the sample is skipped — the common case, two atomic loads.
+// Locks call it once per trip into their contended slow path, before
+// waiting, and thread the site through to RecordBlame.
+func (h *Handle) BlameSample(skip int) obs.SiteID {
+	rec := h.rt.rec
+	if !rec.BlameSampled() {
+		return 0
+	}
+	return rec.CallerSite(skip + 1)
+}
+
+// HolderSiteID returns the current holder's published acquire site, or
+// 0 when the holder was not blame-sampled (or the lock is free).
+// Waiters read it before waiting: blame pairs the waiter with whoever
+// held the lock when the wait began, which is who built the convoy.
+func (h *Handle) HolderSiteID() obs.SiteID { return obs.SiteID(h.holderSite.Load()) }
+
+// PublishHolderSite stamps site as the current holder's acquire site.
+// Call only while holding the lock, with the site captured by this
+// acquisition's BlameSample.
+func (h *Handle) PublishHolderSite(site obs.SiteID) { h.holderSite.Store(uint64(site)) }
+
+// ClearHolderSite clears the published holder site on release. Callers
+// track whether they published (a plain field under the lock) so the
+// unsampled unlock path pays nothing; this method still loads first so
+// an unconditional caller (reader unlock paths that can't know) is one
+// atomic load when there is nothing to clear.
+func (h *Handle) ClearHolderSite() {
+	if h.holderSite.Load() != 0 {
+		h.holderSite.Store(0)
+	}
+}
+
+// RecordBlame records a blame edge: a sampled waiter (site waiter)
+// that began waiting at start (a WaitStart stamp) behind holder. It
+// feeds the recorder's blame matrix and the lock's blame counters.
+func (h *Handle) RecordBlame(waiter, holder obs.SiteID, start int64) {
+	rec := h.rt.rec
+	d := rec.Now() - start
+	if d < 0 {
+		d = 0
+	}
+	h.blameCount.Add(1)
+	h.blameNs.Add(uint64(d))
+	rec.RecordBlame(waiter, holder, h.name, d)
 }
 
 // ParkThreshold returns the runtime's SpinBeforePark setting; locks
@@ -970,6 +1062,9 @@ func (h *Handle) Stats() LockStats {
 		UnlockWakes:     h.unlockWakes.Load(),
 		SpinningNow:     h.spinning.Load(),
 		SleepingNow:     h.sleepers.Load(),
+		Policy:          h.PolicyName(),
+		BlameCount:      h.blameCount.Load(),
+		BlameNs:         h.blameNs.Load(),
 		Wait:            h.wait.Snapshot(),
 		Hold:            h.hold.Snapshot(),
 	}

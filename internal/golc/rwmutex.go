@@ -35,6 +35,14 @@ type RWMutex struct {
 	// and writers alike.
 	holdSeq   uint64
 	holdStart int64
+
+	// ownSite shadows the published holder site for WRITE holds, as in
+	// Mutex (plain field under the write hold; Unlock clears from a
+	// plain read). Sampled READERS publish their site too — a writer
+	// stuck behind a read crowd blames the published reader — but
+	// without a shadow: read holds overlap, so the last reader out
+	// clears unconditionally through the load-guarded ClearHolderSite.
+	ownSite uint32
 }
 
 // NewRW returns a reader/writer lock named for metrics, registered
@@ -44,6 +52,7 @@ func NewRW(name string, opts ...Option) *RWMutex {
 	c := buildConfig(opts)
 	m := &RWMutex{h: c.rt.Register(name)}
 	m.pol.Store(&c.pol)
+	m.h.NotePolicy(c.pol.Name())
 	return m
 }
 
@@ -69,6 +78,7 @@ func (m *RWMutex) Policy() ContentionPolicy { return *m.pol.Load() }
 // policy).
 func (m *RWMutex) SetPolicy(p ContentionPolicy) {
 	m.pol.Store(&p)
+	m.h.NotePolicy(p.Name())
 	m.h.Obs().Event(obs.EvPolicySwap, m.h.Name(), p.Name(), 0)
 }
 
@@ -77,6 +87,13 @@ func (m *RWMutex) SetPolicy(p ContentionPolicy) {
 func (m *RWMutex) stampHold() {
 	m.holdSeq++
 	m.holdStart = m.h.HoldStamp(m.holdSeq)
+}
+
+// stampSite publishes a blame-sampled WRITE acquisition's site; see
+// Mutex.stampSite.
+func (m *RWMutex) stampSite(site obs.SiteID) {
+	m.ownSite = uint32(site)
+	m.h.PublishHolderSite(site)
 }
 
 // Close unregisters the lock from its runtime's metrics registry. The
@@ -126,8 +143,18 @@ func (m *RWMutex) RLockCtx(ctx context.Context) error {
 }
 
 func (m *RWMutex) rlockSlow(ctx context.Context) error {
-	// Same wait-time seam as Mutex.lockSlow: reader waits count too.
+	// Same wait-time seam as Mutex.lockSlow: reader waits count too. A
+	// blame-sampled reader blames whoever was published when its wait
+	// began — under writer preference that is the writer holding (or a
+	// sampled reader crowding out) the lock. It then publishes its own
+	// site WITHOUT a shadow: read holds overlap, so the last RUnlock
+	// clears for everyone.
 	start := m.h.WaitStart()
+	waiter := m.h.BlameSample(1)
+	var holder obs.SiteID
+	if waiter != 0 {
+		holder = m.h.HolderSiteID()
+	}
 	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try:  m.tryR,
 		Free: m.rAvailable,
@@ -137,6 +164,12 @@ func (m *RWMutex) rlockSlow(ctx context.Context) error {
 			m.h.Obs().Event(obs.EvCtxCancel, m.h.Name(), "", 0)
 		} else {
 			m.h.RecordWait(start)
+		}
+	}
+	if err == nil && waiter != 0 {
+		m.h.PublishHolderSite(waiter)
+		if start != 0 {
+			m.h.RecordBlame(waiter, holder, start)
 		}
 	}
 	return err
@@ -152,6 +185,13 @@ func (m *RWMutex) RUnlock() {
 		s := m.state.Load()
 		if s <= 0 {
 			panic("golc: RUnlock of RWMutex not held for reading")
+		}
+		if s == 1 {
+			// Last reader out: retract any reader-published holder site
+			// before releasing (after, it could wipe a new writer's
+			// publication). Load-guarded, so the common no-site case is
+			// one atomic load on the last-out path only.
+			m.h.ClearHolderSite()
 		}
 		if m.state.CompareAndSwap(s, s-1) {
 			if s == 1 {
@@ -219,6 +259,11 @@ func (m *RWMutex) LockCtx(ctx context.Context) error {
 
 func (m *RWMutex) lockSlow(ctx context.Context) error {
 	start := m.h.WaitStart()
+	waiter := m.h.BlameSample(1)
+	var holder obs.SiteID
+	if waiter != 0 {
+		holder = m.h.HolderSiteID()
+	}
 	err := m.Policy().Wait(ctx, m.h, Acquire{
 		Try: func() bool {
 			if m.state.Load() == 0 && m.state.CompareAndSwap(0, -1) {
@@ -258,6 +303,12 @@ func (m *RWMutex) lockSlow(ctx context.Context) error {
 		m.h.RecordWait(start)
 	}
 	m.stampHold()
+	if waiter != 0 {
+		m.stampSite(waiter)
+		if start != 0 {
+			m.h.RecordBlame(waiter, holder, start)
+		}
+	}
 	return nil
 }
 
@@ -287,8 +338,14 @@ func (m *RWMutex) LockNested() {
 	}
 	h := m.h
 	// LockNested never runs a policy Wait, so it brackets its own spin
-	// loop — stripe-latch convoys show up in the wait histograms too.
+	// loop — stripe-latch convoys show up in the wait histograms (and
+	// the blame matrix) too.
 	start := h.WaitStart()
+	waiter := h.BlameSample(1)
+	var holder obs.SiteID
+	if waiter != 0 {
+		holder = h.HolderSiteID()
+	}
 	h.Spinning(1)
 	c := cadence{park: noPark}
 	for {
@@ -300,6 +357,12 @@ func (m *RWMutex) LockNested() {
 				h.RecordWait(start)
 			}
 			m.stampHold()
+			if waiter != 0 {
+				m.stampSite(waiter)
+				if start != 0 {
+					h.RecordBlame(waiter, holder, start)
+				}
+			}
 			return
 		}
 		c.next()
@@ -313,6 +376,10 @@ func (m *RWMutex) Unlock() {
 	start := m.holdStart
 	if start != 0 {
 		m.holdStart = 0
+	}
+	if m.ownSite != 0 {
+		m.ownSite = 0
+		m.h.ClearHolderSite()
 	}
 	if !m.state.CompareAndSwap(-1, 0) {
 		panic("golc: Unlock of RWMutex not held for writing")

@@ -205,6 +205,8 @@ func (s *Store) LatchStats() lcrt.LockStats {
 		agg.ControllerWakes += ls.ControllerWakes
 		agg.TimeoutWakes += ls.TimeoutWakes
 		agg.UnlockWakes += ls.UnlockWakes
+		agg.BlameCount += ls.BlameCount
+		agg.BlameNs += ls.BlameNs
 		agg.Wait.Merge(ls.Wait)
 		agg.Hold.Merge(ls.Hold)
 	}

@@ -132,6 +132,20 @@ func RecordID(table string, part int, key string) ResourceID {
 	return ResourceID{Level: LevelRecord, Table: table, Partition: part, Key: key}
 }
 
+// classOf names a resource's blame class: its level and table, without
+// the per-record identity — blame aggregates classes of conflict, not
+// individual keys.
+func classOf(id ResourceID) string {
+	switch id.Level {
+	case LevelTable:
+		return "table(" + id.Table + ")"
+	case LevelPartition:
+		return "partition(" + id.Table + ")"
+	default:
+		return "record(" + id.Table + ")"
+	}
+}
+
 // waiter is one blocked logical lock request. ready is closed exactly
 // once, by the grant path after setting granted under the stripe
 // latch. Cancellation (the detector's victim path) is context-based:
@@ -334,6 +348,23 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	// victim route (w.cancel wakes us with an abort order), the same
 	// shape golc's LockCtx gives physical waiters.
 	blockers := blockersOf(l, txn, goal)
+	// Logical blame: the same sampled who-blocks-whom attribution the
+	// physical locks get, but in the DB's own vocabulary — the resource
+	// class and mode the blocked request wants vs what its first
+	// blocker holds. Captured under the latch (the blocker set shifts
+	// once it drops), recorded with the wait's duration in the deferred
+	// observation below.
+	var blameW, blameH obs.SiteID
+	if lm.rec.BlameSampled() {
+		blameW = lm.rec.NamedSite("oltp:" + classOf(id) + "/want-" + goal.String())
+		if len(blockers) > 0 {
+			hold := "queued" // blocker is itself still waiting (FIFO fairness edge)
+			if hm, held := l.holders[blockers[0]]; held {
+				hold = hm.String()
+			}
+			blameH = lm.rec.NamedSite("oltp:" + classOf(id) + "/hold-" + hold)
+		}
+	}
 	w := &waiter{txn: txn, mode: goal, ready: make(chan struct{})}
 	// The wait context derives from the transaction's own: a deadlock
 	// policy kills the victim through w.cancel, and the caller walking
@@ -353,7 +384,11 @@ func (lm *lockManager) acquire(txn *Txn, id ResourceID, want Mode) error {
 	}
 	defer func() {
 		if t0 != 0 {
-			lm.lockWait.Observe(lm.rec.Now() - t0)
+			d := lm.rec.Now() - t0
+			lm.lockWait.Observe(d)
+			if blameW != 0 {
+				lm.rec.RecordBlame(blameW, blameH, "oltp/"+id.Table, d)
+			}
 		}
 	}()
 	// The detector records wait edges and runs its cycle check here —
