@@ -563,6 +563,7 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 		cold.Lock()
 		// Hold long enough for the cold waiters to blow through the
 		// park threshold and claim sleep slots.
+		//lint:allow heldcall the convoy is the point: this benchmark manufactures a long hold to drive waiters into the parked regime
 		time.Sleep(5 * time.Millisecond)
 		relNs.Store(int64(time.Since(t0)))
 		cold.Unlock()

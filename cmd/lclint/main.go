@@ -1,16 +1,30 @@
 // Command lclint runs the repo's lock-invariant analyzers (internal/lint)
 // over the packages named by its arguments:
 //
-//	go run ./cmd/lclint ./...
+//	go run ./cmd/lclint -facts ./...
 //
 // It prints one finding per line (file:line:col: message [analyzer]) and
-// exits 1 if anything is found, 2 on usage or load errors. CI runs it as
-// a required gate next to vet and -race.
+// exits 1 if anything is found — or if an -only/-list analyzer name is
+// unknown — and 2 on usage or load errors. CI runs it as a required gate
+// next to vet and -race.
+//
+// The analyzers are whole-program: per-package function summaries
+// (parks?, lock-class touch set, held-set delta, ctx-threading, blocking
+// work) resolve through a content-hash-keyed facts store, so a helper
+// that parks three packages away is still a parking call at this call
+// site. With -facts the store persists under the go build cache
+// ($(go env GOCACHE)/lclint-facts/<hash>.json) and repeat runs only
+// recompute facts for packages whose source — or whose module-internal
+// dependencies' source — changed; without it the store lives only for
+// the run.
 //
 // Flags:
 //
 //	-list         print the analyzers and their invariants, then exit
+//	              (honors -only)
 //	-only a,b     run only the named analyzers
+//	-facts        persist package facts under the go build cache
+//	-factsdir d   persist package facts under d (implies -facts)
 //
 // Suppress a finding with an annotation on, or directly above, the
 // flagged line — the reason is mandatory:
@@ -29,22 +43,34 @@ import (
 func main() {
 	list := flag.Bool("list", false, "print analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	facts := flag.Bool("facts", false, "persist package facts under the go build cache")
+	factsDir := flag.String("factsdir", "", "persist package facts under this directory (implies -facts)")
 	flag.Parse()
-
-	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
-		}
-		return
-	}
 
 	analyzers := lint.All()
 	if *only != "" {
 		var err error
 		if analyzers, err = lint.ByName(*only); err != nil {
+			// An unknown analyzer name is a finding about the command
+			// line, not a usage error: exit 1, like any other finding,
+			// with the valid names in the message.
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(1)
 		}
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := ""
+	if *factsDir != "" {
+		dir = *factsDir
+	} else if *facts {
+		dir = lint.DefaultFactsDir()
 	}
 
 	patterns := flag.Args()
@@ -63,7 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(analyzers, pkgs)
+	diags := lint.NewProgram(loader, lint.NewFactsStore(dir), pkgs).Run(analyzers)
 	for _, d := range diags {
 		pos := loader.Fset().Position(d.Pos)
 		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)

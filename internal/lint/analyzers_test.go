@@ -49,3 +49,51 @@ func TestPolicyreg(t *testing.T) {
 func TestPolicyregClean(t *testing.T) {
 	linttest.Run(t, "policyreg", "internal/lint/testdata/src/policyregok")
 }
+
+func TestHeldcall(t *testing.T) {
+	linttest.Run(t, "heldcall", "internal/lint/testdata/src/heldcall")
+}
+
+func TestHeldcallClean(t *testing.T) {
+	linttest.Run(t, "heldcall", "internal/lint/testdata/src/heldcallok")
+}
+
+func TestAtomicfield(t *testing.T) {
+	linttest.Run(t, "atomicfield", "internal/lint/testdata/src/atomicfield")
+}
+
+func TestAtomicfieldClean(t *testing.T) {
+	linttest.Run(t, "atomicfield", "internal/lint/testdata/src/atomicfieldok")
+}
+
+func TestWaitseam(t *testing.T) {
+	linttest.Run(t, "waitseam", "internal/lint/testdata/src/waitseam")
+}
+
+func TestWaitseamClean(t *testing.T) {
+	linttest.Run(t, "waitseam", "internal/lint/testdata/src/waitseamok")
+}
+
+// The branches fixtures pin the walker's labeled break/continue and
+// goto handling, which both lockpair and nestedpark depend on.
+func TestBranches(t *testing.T) {
+	linttest.Run(t, "lockpair,nestedpark", "internal/lint/testdata/src/branches")
+}
+
+func TestBranchesClean(t *testing.T) {
+	linttest.Run(t, "lockpair,nestedpark", "internal/lint/testdata/src/branchesok")
+}
+
+// Only package p loads as an analysis root: the parking helper lives
+// in the imported package q and is visible solely through its facts.
+// TestCrossPackageNeedsFacts in internal/lint proves the negative —
+// without the facts store these fixtures report nothing.
+func TestCrosspark(t *testing.T) {
+	linttest.Run(t, "nestedpark", "internal/lint/testdata/src/crosspark/p")
+}
+
+// Only package b loads as a root; the cycle's forward edge exists only
+// in package a's facts.
+func TestCrossorder(t *testing.T) {
+	linttest.Run(t, "lockorder", "internal/lint/testdata/src/crossorder/b")
+}

@@ -17,11 +17,19 @@ import (
 //     context.Context is expected (LockCtx, context.WithCancel, ...);
 //  2. calling a method M when a drop-in M+"Ctx" variant exists (same
 //     receiver, leading context parameter, both returning error) —
-//     e.g. DB.Run vs DB.RunCtx in a request handler.
+//     e.g. DB.Run vs DB.RunCtx in a request handler;
+//  3. calling a function whose whole-program facts (FuncFacts.CtxBgWait)
+//     say it roots a transitively-parking wait at Background/TODO —
+//     the cross-package form of rule 1, caught through the facts store
+//     even when the Background call is buried packages away.
 //
 // Rule 2's both-return-error gate is deliberate: golc's Lock() (void)
 // vs LockCtx() (error) is a contract change, not a drop-in, and latch
 // acquisitions inside the runtime are intentionally non-cancellable.
+// Rule 3 inherits the same exemptions at fact-generation time: golc's
+// own Background roots (the documented uncancellable contract),
+// functions with a *Ctx sibling, and functions that have a real
+// context of their own (rule 1 fires there instead).
 var Ctxlock = &Analyzer{
 	Name: "ctxlock",
 	Doc: "paths that have a real deadline/cancel context (request handlers, txn " +
@@ -40,9 +48,9 @@ func runCtxlock(pass *Pass) error {
 			}
 			var sources []string
 			if fd.Recv != nil {
-				sources = appendCtxSources(pass, sources, fd.Recv)
+				sources = appendCtxSources(pass.Pkg.Info, sources, fd.Recv)
 			}
-			sources = appendCtxSources(pass, sources, fd.Type.Params)
+			sources = appendCtxSources(pass.Pkg.Info, sources, fd.Type.Params)
 			visitCtxBody(pass, fd.Body, sources)
 		}
 	}
@@ -50,7 +58,7 @@ func runCtxlock(pass *Pass) error {
 }
 
 // appendCtxSources scans a parameter list for usable context sources.
-func appendCtxSources(pass *Pass, sources []string, params *ast.FieldList) []string {
+func appendCtxSources(info *types.Info, sources []string, params *ast.FieldList) []string {
 	if params == nil {
 		return sources
 	}
@@ -59,7 +67,7 @@ func appendCtxSources(pass *Pass, sources []string, params *ast.FieldList) []str
 			if name.Name == "_" || name.Name == "" {
 				continue
 			}
-			obj := pass.Pkg.Info.Defs[name]
+			obj := info.Defs[name]
 			if obj == nil {
 				continue
 			}
@@ -109,7 +117,7 @@ func visitCtxBody(pass *Pass, body *ast.BlockStmt, sources []string) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			inner := appendCtxSources(pass, append([]string(nil), sources...), n.Type.Params)
+			inner := appendCtxSources(pass.Pkg.Info, append([]string(nil), sources...), n.Type.Params)
 			visitCtxBody(pass, n.Body, inner)
 			return false
 		case *ast.CallExpr:
@@ -136,6 +144,15 @@ func checkCtxCall(pass *Pass, call *ast.CallExpr, src string) {
 					"context.%s() passed to %s while %s is in scope: waits rooted here cannot be cancelled or deadline-killed",
 					name, callName(call), src)
 			}
+		}
+	}
+	// Rule 3: the callee's whole-program facts root a parking wait at
+	// Background/TODO with no context of its own to thread.
+	if ci := classifyCall(info, call); ci.kind == kindNone && ci.callee != nil {
+		if ff := pass.FactsOf(ci.callee); ff != nil && ff.CtxBgWait {
+			pass.Reportf(call.Pos(),
+				"call to %s waits on a lock rooted at %s while %s is in scope: that wait cannot be cancelled or deadline-killed",
+				displayFunc(ci.callee, ci.callee.Pkg() == pass.Pkg.Types), ff.CtxWhat, src)
 		}
 	}
 	// Rule 2: a drop-in Ctx variant exists for this method call.

@@ -283,6 +283,21 @@ func levelByName(name string) int {
 	return levelUnknown
 }
 
+// displayFunc names fn for a report: bare name inside its own package,
+// package-qualified elsewhere (methods keep their receiver type).
+func displayFunc(fn *types.Func, samePkg bool) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := derefNamed(sig.Recv().Type()); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if samePkg || fn.Pkg() == nil {
+		return name
+	}
+	return fn.Pkg().Name() + "." + name
+}
+
 // lockKeyOf renders the receiver expression as the intra-procedural
 // identity of a lock ("sh.mu", "s.stripes[i].mu"). Textual identity is
 // deliberate: it pairs an acquire with the release written against the

@@ -1,4 +1,4 @@
-// Package lint is lclint's analysis framework plus the five
+// Package lint is lclint's analysis framework plus the eight
 // repo-specific analyzers that machine-check the lock runtime's
 // correctness invariants (see cmd/lclint):
 //
@@ -16,6 +16,22 @@
 //     on waits being cancellable.
 //   - policyreg: golc.RegisterPolicy only from init/main, no duplicate
 //     or reserved policy names.
+//   - heldcall: no blocking or alloc-heavy work (I/O, channel
+//     operations, time.Sleep, fmt printing to writers) inside a golc
+//     critical section.
+//   - atomicfield: a struct field touched via sync/atomic anywhere
+//     must be accessed atomically everywhere.
+//   - waitseam: every ContentionPolicy.Wait invocation must be
+//     bracketed by Handle.WaitStart/RecordWait — the flight recorder's
+//     one-seam guarantee, pinned statically.
+//
+// The analyzers are whole-program: per-package function summaries
+// (FuncFacts — parks?, lock-class touch set, held-set delta,
+// ctx-threading, blocking work) serialize to a content-hash-keyed
+// FactsStore (facts.go), and a Program resolves facts for imported
+// packages alongside their export data — from the store on a hash hit,
+// from source on demand otherwise — so a helper that parks three
+// packages away is still a parking call here.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer/Pass/Diagnostic, testdata golden tests in linttest), but is
@@ -37,7 +53,7 @@ package lint
 import (
 	"fmt"
 	"go/token"
-	"sort"
+	"go/types"
 	"strings"
 )
 
@@ -73,12 +89,30 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	// Prog is the whole-program run this pass belongs to: the merged
+	// facts view over the package's imports.
+	Prog *Program
+
 	report func(Diagnostic)
 }
 
 // Reportf reports a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactsOf returns the whole-program facts for fn — same-package or
+// imported alike — or nil when nothing is known about it.
+func (p *Pass) FactsOf(fn *types.Func) *FuncFacts {
+	if p.Prog == nil {
+		return nil
+	}
+	return p.Prog.FactsOf(fn)
+}
+
+// summary adapts FactsOf to the walker's summary-injection hook.
+func (p *Pass) summary() func(*types.Func) *FuncFacts {
+	return p.FactsOf
 }
 
 // A Diagnostic is one finding.
@@ -90,7 +124,7 @@ type Diagnostic struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Lockpair, Nestedpark, Lockorder, Ctxlock, Policyreg}
+	return []*Analyzer{Lockpair, Nestedpark, Lockorder, Ctxlock, Policyreg, Heldcall, Atomicfield, Waitseam}
 }
 
 // ByName resolves a comma-separated analyzer list ("lockpair,ctxlock").
@@ -120,64 +154,10 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies analyzers to pkgs and returns surviving findings sorted
-// by position: suppressed findings are dropped, malformed suppressions
-// are added (a //lint:allow with no analyzer name or no reason is a
-// finding of its own), and duplicates (same analyzer, position and
-// message — e.g. from the walker's second loop pass) collapse.
+// Run applies analyzers to pkgs without cross-package fact resolution
+// (same-package summaries still close): a convenience wrapper over
+// NewProgram(...).Run for callers with no Loader. Program.Run
+// documents the filtering and ordering contract.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	collect := func(d Diagnostic) { diags = append(diags, d) }
-
-	for _, a := range analyzers {
-		if a.Begin != nil {
-			a.Begin()
-		}
-	}
-	for _, a := range analyzers {
-		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
-			if err := a.Run(pass); err != nil {
-				collect(Diagnostic{Analyzer: a.Name, Pos: token.NoPos,
-					Message: fmt.Sprintf("internal error in %s: %v", pkg.ImportPath, err)})
-			}
-		}
-	}
-	for _, a := range analyzers {
-		if a.End != nil {
-			a.End(collect)
-		}
-	}
-
-	// One suppression index over every file of every package analyzed.
-	sup := newSuppressions(pkgs)
-	diags = append(sup.malformed, filterSuppressed(diags, sup)...)
-
-	seen := make(map[string]bool, len(diags))
-	out := diags[:0]
-	fsetPos := func(p token.Pos) token.Position {
-		if len(pkgs) == 0 || p == token.NoPos {
-			return token.Position{}
-		}
-		return pkgs[0].Fset.Position(p)
-	}
-	for _, d := range diags {
-		key := d.Analyzer + "\x00" + fsetPos(d.Pos).String() + "\x00" + d.Message
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, d)
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		pi, pj := fsetPos(out[i].Pos), fsetPos(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return out[i].Message < out[j].Message
-	})
-	return out
+	return NewProgram(nil, NewFactsStore(""), pkgs).Run(analyzers)
 }

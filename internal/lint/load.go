@@ -137,6 +137,14 @@ func (l *Loader) listExports(pattern string) error {
 // Fset returns the loader's shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// dirFor maps a module-internal import path to its source directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModPath {
+		return l.ModRoot
+	}
+	return filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(importPath, l.ModPath+"/")))
+}
+
 // Import implements types.Importer over export data: the type checker
 // sees the exact package types the compiler produced.
 func (l *Loader) Import(path string) (*types.Package, error) {

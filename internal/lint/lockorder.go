@@ -12,8 +12,10 @@ import (
 // classes — "kv.shard.mu"-style struct fields, package-level lock vars,
 // and oltp's logical hierarchy levels (oltp/table, oltp/partition,
 // oltp/record). Edges come from a nested acquisition observed while
-// another class is held, directly or through a one-level same-package
-// call summary. Three kinds of findings:
+// another class is held, directly or through the whole-program call
+// summaries (Pass.FactsOf) — a call into another module package that
+// transitively acquires a class draws the same edge a local
+// acquisition would. Three kinds of findings:
 //
 //   - a logical acquisition that climbs the hierarchy (record held,
 //     then table) — reported at the site;
@@ -65,7 +67,6 @@ func logicalRank(class string) int {
 }
 
 func runLockorder(pass *Pass) error {
-	facts := computeFacts(pass.Pkg)
 	forEachFuncDecl(pass.Pkg, func(fd *ast.FuncDecl) {
 		fname := pass.Pkg.Types.Name() + "." + fd.Name.Name
 		record := func(pos token.Pos, held []heldLock, to string) {
@@ -76,7 +77,7 @@ func runLockorder(pass *Pass) error {
 				addOrderEdge(h.class, to, pos, fname+": held "+h.class+", then acquired "+to)
 			}
 		}
-		walkFunc(pass.Pkg.Info, fd.Body, hooks{
+		walkFuncSum(pass.Pkg.Info, fd.Body, pass.summary(), hooks{
 			onAcquire: func(ci callInfo, held []heldLock, second bool) {
 				var cls string
 				if ci.kind == kindLogicalAcq {
@@ -110,11 +111,11 @@ func runLockorder(pass *Pass) error {
 				if ci.callee == nil {
 					return
 				}
-				ff := facts[ci.callee]
+				ff := pass.FactsOf(ci.callee)
 				if ff == nil {
 					return
 				}
-				for to := range ff.classes {
+				for _, to := range ff.Classes {
 					record(ci.call.Pos(), held, to)
 				}
 			},

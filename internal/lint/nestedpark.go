@@ -11,23 +11,23 @@ import (
 // wait slot while every thread queued on its lock pins more — the
 // admission controller interprets the stall as load and collapses the
 // slot pool. Acquire-while-holding must use LockNested (spins, never
-// parks) or TryLock. The check is intra-procedural plus a one-level
-// same-package call summary: calling a function that (transitively)
-// reaches a parking point counts as parking here.
+// parks) or TryLock. The check is intra-procedural plus whole-program
+// call summaries (Pass.FactsOf): calling a function that transitively
+// reaches a parking point — in this package or any module package it
+// imports — counts as parking here.
 var Nestedpark = &Analyzer{
 	Name: "nestedpark",
 	Doc: "no potentially-parking operation (golc Lock/RLock/LockCtx/RLockCtx, " +
-		"ContentionPolicy.Wait, runtime Ticket.Sleep, or any same-package call that " +
-		"transitively reaches one) while a golc lock is held; use LockNested or " +
-		"TryLock for nested acquisition. Parking while holding deadlocks the " +
-		"load-controlled policy's slot pool.",
+		"ContentionPolicy.Wait, runtime Ticket.Sleep, or any call that transitively " +
+		"reaches one, across package boundaries) while a golc lock is held; use " +
+		"LockNested or TryLock for nested acquisition. Parking while holding " +
+		"deadlocks the load-controlled policy's slot pool.",
 	Run: runNestedpark,
 }
 
 func runNestedpark(pass *Pass) error {
-	facts := computeFacts(pass.Pkg)
 	forEachFuncDecl(pass.Pkg, func(fd *ast.FuncDecl) {
-		walkFunc(pass.Pkg.Info, fd.Body, hooks{
+		walkFuncSum(pass.Pkg.Info, fd.Body, pass.summary(), hooks{
 			onAcquire: func(ci callInfo, held []heldLock, second bool) {
 				if ci.kind != kindAcqPark {
 					return
@@ -49,14 +49,15 @@ func runNestedpark(pass *Pass) error {
 				if ci.callee == nil {
 					return
 				}
-				ff := facts[ci.callee]
-				if ff == nil || !ff.parks {
+				ff := pass.FactsOf(ci.callee)
+				if ff == nil || !ff.Parks {
 					return
 				}
 				if h, ok := firstPhysical(held); ok {
 					pass.Reportf(ci.call.Pos(),
 						"call to %s may park (%s) while %s is held (acquired at line %d): never park while holding a golc lock",
-						ci.callee.Name(), ff.parkWhat, heldName(h), pass.Pkg.Fset.Position(h.pos).Line)
+						displayFunc(ci.callee, ci.callee.Pkg() == pass.Pkg.Types), ff.ParkWhat,
+						heldName(h), pass.Pkg.Fset.Position(h.pos).Line)
 				}
 			},
 		})
@@ -74,5 +75,10 @@ func firstPhysical(held []heldLock) (heldLock, bool) {
 }
 
 func heldName(h heldLock) string {
+	if h.key == "" {
+		// Synthetic hold from an acquire-helper's facts: only the
+		// class names it.
+		return h.class
+	}
 	return strings.TrimSuffix(strings.TrimSuffix(h.key, "/W"), "/R")
 }

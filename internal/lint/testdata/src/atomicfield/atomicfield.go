@@ -1,0 +1,24 @@
+// Package atomicfield holds failing fixtures for the atomicfield
+// analyzer: fields touched through sync/atomic somewhere and plainly
+// elsewhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	hits uint64 // never touched atomically; plain access is fine
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func read(c *counter) uint64 {
+	return c.n // want `plain access to .*atomicfield\.counter\.n`
+}
+
+func reset(c *counter) {
+	c.n = 0 // want `plain access to .*atomicfield\.counter\.n`
+	c.hits = 0
+}

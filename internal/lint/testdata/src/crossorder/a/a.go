@@ -1,0 +1,14 @@
+// Package a is the dependency side of the cross-package lockorder
+// fixture: GrabMu2 acquires and releases locks.Mu2, so its facts carry
+// the class — a caller holding locks.Mu1 draws the Mu1→Mu2 edge
+// through the store without ever seeing this source.
+package a
+
+import "repro/internal/lint/testdata/src/crossorder/locks"
+
+// GrabMu2 touches locks.Mu2; the acquisition-order edge is drawn at
+// the caller.
+func GrabMu2() {
+	locks.Mu2.Lock()
+	locks.Mu2.Unlock()
+}

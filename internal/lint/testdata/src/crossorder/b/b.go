@@ -1,0 +1,25 @@
+// Package b closes the cross-package lockorder cycle. It is the only
+// analysis root of this fixture: the Mu1→Mu2 edge exists solely in
+// a.GrabMu2's facts (package a's source is never an analysis root), so
+// the cycle below is visible only to the whole-program graph.
+package b
+
+import (
+	"repro/internal/lint/testdata/src/crossorder/a"
+	"repro/internal/lint/testdata/src/crossorder/locks"
+)
+
+// forward draws locks.Mu1 → locks.Mu2 through a.GrabMu2's facts.
+func forward() {
+	locks.Mu1.Lock()
+	a.GrabMu2()
+	locks.Mu1.Unlock()
+}
+
+// backward draws locks.Mu2 → locks.Mu1 locally, closing the cycle.
+func backward() {
+	locks.Mu2.Lock()
+	locks.Mu1.Lock() // want `acquisition-order cycle: locks\.Mu1 → locks\.Mu2 → locks\.Mu1`
+	locks.Mu1.Unlock()
+	locks.Mu2.Unlock()
+}

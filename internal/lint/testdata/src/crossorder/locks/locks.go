@@ -1,0 +1,11 @@
+// Package locks declares the shared lock classes of the cross-package
+// lockorder fixture: packages a and b each acquire them in opposite
+// orders, and only whole-program facts see both edges.
+package locks
+
+import "repro/internal/golc"
+
+var (
+	Mu1 = golc.New("locks.mu1")
+	Mu2 = golc.New("locks.mu2")
+)

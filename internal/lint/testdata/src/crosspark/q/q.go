@@ -1,0 +1,36 @@
+// Package q is the dependency side of the cross-package nestedpark
+// fixture: nothing here is a finding on its own. Touch reaches a
+// parking acquisition two frames deep, and Grab/Drop are an
+// acquire/release helper pair — facts the importing package p consumes
+// through the store.
+package q
+
+import "repro/internal/golc"
+
+var (
+	Mu  = golc.New("q.mu")
+	Mu2 = golc.New("q.mu2")
+)
+
+// Touch parks, two frames deep: its facts mark Parks through inner.
+func Touch() {
+	inner()
+}
+
+func inner() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+
+// Grab returns holding Mu2 — an acquire helper; its facts carry the
+// held-set delta.
+//
+//lint:allow lockpair acquire helper: Drop is the paired release
+func Grab() {
+	Mu2.Lock()
+}
+
+// Drop releases Grab's hold.
+func Drop() {
+	Mu2.Unlock()
+}

@@ -1,0 +1,54 @@
+// Package heldcallok holds clean fixtures for the heldcall analyzer:
+// blocking work outside the critical section, non-blocking work inside
+// it — any finding here is a false positive.
+package heldcallok
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/golc"
+)
+
+type S struct {
+	mu  *golc.Mutex
+	ch  chan int
+	msg string
+}
+
+// Blocking work before and after the critical section is fine.
+func aroundNotInside(s *S) {
+	time.Sleep(time.Millisecond)
+	s.mu.Lock()
+	s.msg = "ready"
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// Sprintf formats without a writer: alloc, not blocking.
+func formatHeld(s *S) {
+	s.mu.Lock()
+	s.msg = fmt.Sprintf("%d", 42)
+	s.mu.Unlock()
+}
+
+// A select with a default case never blocks.
+func nonBlockingPoll(s *S) {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		s.msg = fmt.Sprint(v)
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// The goroutine body runs without the spawner's lock.
+func spawnUnderLock(s *S) {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		s.ch <- 1
+	}()
+	s.mu.Unlock()
+}

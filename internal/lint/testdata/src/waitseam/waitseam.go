@@ -1,0 +1,27 @@
+// Package waitseam holds failing fixtures for the waitseam analyzer:
+// ContentionPolicy.Wait invocations missing one or both halves of the
+// Handle.WaitStart/RecordWait bracket.
+package waitseam
+
+import (
+	"context"
+
+	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+)
+
+func unbracketed(ctx context.Context, p golc.ContentionPolicy, h *lcrt.Handle, acq golc.Acquire) error {
+	return p.Wait(ctx, h, acq) // want `Wait is not bracketed by Handle\.WaitStart/RecordWait`
+}
+
+func headOnly(ctx context.Context, p golc.ContentionPolicy, h *lcrt.Handle, acq golc.Acquire) error {
+	start := h.WaitStart()
+	_ = start
+	return p.Wait(ctx, h, acq) // want `Wait has no Handle\.RecordWait after it`
+}
+
+func tailOnly(ctx context.Context, p golc.ContentionPolicy, h *lcrt.Handle, acq golc.Acquire) error {
+	err := p.Wait(ctx, h, acq) // want `Wait has no Handle\.WaitStart before it`
+	h.RecordWait(0)
+	return err
+}

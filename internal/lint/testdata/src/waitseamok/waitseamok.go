@@ -1,0 +1,33 @@
+// Package waitseamok holds clean fixtures for the waitseam analyzer:
+// the properly bracketed caller shape (lockSlow's), and a policy
+// implementation — which is inside the seam, not a caller of it — any
+// finding here is a false positive.
+package waitseamok
+
+import (
+	"context"
+
+	"repro/internal/golc"
+	lcrt "repro/internal/golc/runtime"
+)
+
+// bracketed is the lockSlow shape: WaitStart before, RecordWait after.
+func bracketed(ctx context.Context, p golc.ContentionPolicy, h *lcrt.Handle, acq golc.Acquire) error {
+	start := h.WaitStart()
+	err := p.Wait(ctx, h, acq)
+	h.RecordWait(start)
+	return err
+}
+
+// wrap is a delegating policy: its Wait body is inside the seam, so
+// the inner Wait call needs no bracket here — the caller of wrap.Wait
+// holds the bracket.
+type wrap struct {
+	inner golc.ContentionPolicy
+}
+
+func (w wrap) Name() string { return "wrap" }
+
+func (w wrap) Wait(ctx context.Context, h *lcrt.Handle, acq golc.Acquire) error {
+	return w.inner.Wait(ctx, h, acq)
+}

@@ -8,12 +8,13 @@ import (
 
 // heldLock is one lock known to be held at a program point.
 type heldLock struct {
-	key     string    // intra-procedural identity (lockKeyOf); "" for logical locks
-	class   string    // acquisition-order class (classOf / logical level); may be ""
-	read    bool      // reader-side hold
-	logical bool      // oltp lock-manager logical lock, not a golc latch
-	name    string    // acquiring method name ("Lock", "TryLock", ...)
-	pos     token.Pos // acquisition site
+	key       string    // intra-procedural identity (lockKeyOf); "" for logical and synthetic locks
+	class     string    // acquisition-order class (classOf / logical level); may be ""
+	read      bool      // reader-side hold
+	logical   bool      // oltp lock-manager logical lock, not a golc latch
+	synthetic bool      // injected from a callee's HeldDelta facts, not acquired here
+	name      string    // acquiring method name ("Lock", "TryLock", ...), or "call to f" for synthetic holds
+	pos       token.Pos // acquisition site
 }
 
 // hooks receives walker events. The `second` flag marks events from the
@@ -28,8 +29,12 @@ type hooks struct {
 	// Sleep/SleepCtx).
 	onPark func(ci callInfo, held []heldLock, second bool)
 	// onCall fires for calls the classifier does not recognize —
-	// candidates for the one-level call-graph summaries.
+	// candidates for the whole-program call summaries.
 	onCall func(ci callInfo, held []heldLock, second bool)
+	// onChanOp fires for blocking channel operations: send, receive,
+	// range-over-channel, select with no default case. Operations
+	// inside a select's comm clauses report once at the select.
+	onChanOp func(pos token.Pos, what string, held []heldLock, second bool)
 	// onExit fires at every function exit (return, panic, fallthrough
 	// off the end) with the locks still held after deferred releases.
 	// First pass only.
@@ -38,23 +43,32 @@ type hooks struct {
 
 // walkState is the abstract state at one program point.
 type walkState struct {
-	held     []heldLock                // acquisition-ordered
-	deferred map[string]bool           // lock keys released by a defer
-	tryVars  map[types.Object]callInfo // vars holding a pending TryLock result
+	held        []heldLock                // acquisition-ordered
+	deferred    map[string]bool           // lock keys released by a defer
+	deferredCls map[string]bool           // lock classes released by a defer (synthetic holds)
+	tryVars     map[types.Object]callInfo // vars holding a pending TryLock result
 }
 
 func newWalkState() *walkState {
-	return &walkState{deferred: map[string]bool{}, tryVars: map[types.Object]callInfo{}}
+	return &walkState{
+		deferred:    map[string]bool{},
+		deferredCls: map[string]bool{},
+		tryVars:     map[types.Object]callInfo{},
+	}
 }
 
 func (s *walkState) clone() *walkState {
 	c := &walkState{
-		held:     append([]heldLock(nil), s.held...),
-		deferred: make(map[string]bool, len(s.deferred)),
-		tryVars:  make(map[types.Object]callInfo, len(s.tryVars)),
+		held:        append([]heldLock(nil), s.held...),
+		deferred:    make(map[string]bool, len(s.deferred)),
+		deferredCls: make(map[string]bool, len(s.deferredCls)),
+		tryVars:     make(map[types.Object]callInfo, len(s.tryVars)),
 	}
 	for k, v := range s.deferred {
 		c.deferred[k] = v
+	}
+	for k, v := range s.deferredCls {
+		c.deferredCls[k] = v
 	}
 	for k, v := range s.tryVars {
 		c.tryVars[k] = v
@@ -79,18 +93,28 @@ func merge(a, b *walkState) *walkState {
 	for k := range b.deferred {
 		out.deferred[k] = true
 	}
+	for k := range b.deferredCls {
+		out.deferredCls[k] = true
+	}
 	for k, v := range b.tryVars {
 		out.tryVars[k] = v
 	}
 	return out
 }
 
-// heldNow returns the current held set minus deferred releases —
+// exitHeld returns the current held set minus deferred releases —
 // what is genuinely still held at an exit.
 func (s *walkState) exitHeld() []heldLock {
 	var out []heldLock
 	for _, h := range s.held {
-		if h.logical || s.deferred[h.key] {
+		switch {
+		case h.logical:
+			continue
+		case h.synthetic:
+			if s.deferredCls[h.class] {
+				continue
+			}
+		case s.deferred[h.key]:
 			continue
 		}
 		out = append(out, h)
@@ -102,34 +126,86 @@ func (s *walkState) add(h heldLock) {
 	s.held = append(s.held, h)
 }
 
-func (s *walkState) release(key string) {
+// releaseKey removes the most recent hold with the given textual key;
+// reports whether one was found.
+func (s *walkState) releaseKey(key string) bool {
+	if key == "" {
+		return false
+	}
 	for i := len(s.held) - 1; i >= 0; i-- {
 		if s.held[i].key == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releaseClass removes the most recent *synthetic* hold of the given
+// class — a release with no matching textual acquire pairs with an
+// acquire-helper's injected hold.
+func (s *walkState) releaseClass(class string) {
+	if class == "" {
+		return
+	}
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].synthetic && s.held[i].class == class {
 			s.held = append(s.held[:i], s.held[i+1:]...)
 			return
 		}
 	}
 }
 
+// branchTarget is one enclosing breakable statement (loop, switch,
+// select) on the walker's stack; break/continue register the states
+// that leave through it.
+type branchTarget struct {
+	label     string // enclosing label, "" if none
+	loop      bool   // continue-able (for/range)
+	breaks    []*walkState
+	continues []*walkState
+}
+
 // walker runs the held-set abstract interpretation over one function
-// body. It is deliberately intra-procedural; cross-function effects come
-// from the facts summaries consumed by the analyzers, not the walker.
+// body. It is deliberately intra-procedural; cross-function effects
+// come from the facts summaries — consumed by the analyzers at call
+// sites, and (for acquire/release helpers' held-set deltas) injected
+// into the walk itself via the summary hook.
 type walker struct {
-	info   *types.Info
-	hooks  hooks
-	second int // >0 inside a second loop-body pass
+	info    *types.Info
+	hooks   hooks
+	summary func(*types.Func) *FuncFacts // nil: no cross-function held-set effects
+	second  int                          // >0 inside a second loop-body pass
+	targets []*branchTarget
+	gotos   map[string][]*walkState // pending forward-goto states by label
+	inComm  int                     // >0 inside a select comm clause (suppresses per-op chan events)
 }
 
 // walkFunc analyzes one function body from an empty held set.
 func walkFunc(info *types.Info, body *ast.BlockStmt, hooks hooks) {
+	walkFuncSum(info, body, nil, hooks)
+}
+
+// walkFuncSum is walkFunc with callee summaries: a call to a function
+// whose facts declare a held-set delta (acquire helper) or unmatched
+// releases (release helper) mutates the abstract held set at the call
+// site, so the caller's later exits and acquisitions see through the
+// helper.
+func walkFuncSum(info *types.Info, body *ast.BlockStmt, summary func(*types.Func) *FuncFacts, hooks hooks) {
 	if body == nil {
 		return
 	}
-	w := &walker{info: info, hooks: hooks}
+	w := &walker{info: info, hooks: hooks, summary: summary, gotos: map[string][]*walkState{}}
 	st := newWalkState()
 	if !w.block(body, st) {
 		w.exit(body.Rbrace, st)
 	}
+}
+
+// subWalk analyzes a nested function literal's body from an empty held
+// set, preserving the summary hook.
+func (w *walker) subWalk(body *ast.BlockStmt) {
+	walkFuncSum(w.info, body, w.summary, w.hooks)
 }
 
 func (w *walker) exit(pos token.Pos, st *walkState) {
@@ -138,11 +214,56 @@ func (w *walker) exit(pos token.Pos, st *walkState) {
 	}
 }
 
-// block walks a statement list; returns true if the path terminates
-// (return/panic/branch) before falling off the end.
+func (w *walker) chanOp(pos token.Pos, what string, st *walkState) {
+	if w.inComm > 0 || w.hooks.onChanOp == nil {
+		return
+	}
+	w.hooks.onChanOp(pos, what, append([]heldLock(nil), st.held...), w.second > 0)
+}
+
+// findTarget resolves a break (needLoop=false) or continue
+// (needLoop=true) to its enclosing target, innermost first.
+func (w *walker) findTarget(label string, needLoop bool) *branchTarget {
+	for i := len(w.targets) - 1; i >= 0; i-- {
+		t := w.targets[i]
+		if needLoop && !t.loop {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+// block walks a statement list; returns true if every path terminates
+// (return/panic/branch) before falling off the end. When a path
+// terminates but a pending goto targets a later label in this list,
+// the walk resumes there with the goto's merged state.
 func (w *walker) block(b *ast.BlockStmt, st *walkState) bool {
-	for _, s := range b.List {
-		if w.stmt(s, st) {
+	return w.stmtList(b.List, st)
+}
+
+func (w *walker) stmtList(list []ast.Stmt, st *walkState) bool {
+	for i := 0; i < len(list); i++ {
+		if !w.stmt(list[i], st) {
+			continue
+		}
+		// Path terminated. A later label with a pending goto is still
+		// reachable — resume there; the LabeledStmt case merges the
+		// recorded goto states into the fresh state.
+		resumed := false
+		for j := i + 1; j < len(list); j++ {
+			ls, ok := list[j].(*ast.LabeledStmt)
+			if !ok || len(w.gotos[ls.Label.Name]) == 0 {
+				continue
+			}
+			*st = *newWalkState()
+			i = j - 1
+			resumed = true
+			break
+		}
+		if !resumed {
 			return true
 		}
 	}
@@ -183,56 +304,138 @@ func (w *walker) stmt(s ast.Stmt, st *walkState) bool {
 		// spawning function's locks are not held *by* the goroutine.
 		w.exprArgsOnly(s.Call, st)
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			walkFunc(w.info, lit.Body, w.hooks)
+			w.subWalk(lit.Body)
 		}
 		return false
 	case *ast.IfStmt:
 		return w.ifStmt(s, st)
 	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond, st)
-		}
-		w.loopBody(s.Body, s.Post, st)
-		return false
+		return w.forStmt(s, st, "")
 	case *ast.RangeStmt:
-		w.expr(s.X, st)
-		w.loopBody(s.Body, nil, st)
-		return false
+		return w.rangeStmt(s, st, "")
 	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			w.expr(s.Tag, st)
-		}
-		return w.caseClauses(s.Body, st)
+		return w.switchStmt(s, st, "")
 	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, st)
-		}
-		w.stmt(s.Assign, st)
-		return w.caseClauses(s.Body, st)
+		return w.typeSwitchStmt(s, st, "")
 	case *ast.SelectStmt:
-		return w.commClauses(s.Body, st)
+		return w.selectStmt(s, st, "")
 	case *ast.BranchStmt:
-		// break/continue/goto leave this statement list; treating the
-		// path as terminated keeps the analysis conservative without
-		// modeling labels.
-		return true
+		return w.branchStmt(s, st)
 	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, st)
+		return w.labeledStmt(s, st)
 	case *ast.SendStmt:
 		w.expr(s.Chan, st)
 		w.expr(s.Value, st)
+		w.chanOp(s.Arrow, "channel send", st)
 		return false
 	case *ast.IncDecStmt:
 		w.expr(s.X, st)
 		return false
 	}
 	return false
+}
+
+// branchStmt records the departing state with its target: break and
+// continue states rejoin the walk where the target statement ends (or
+// iterates); goto states merge into their label when the walk reaches
+// it. A backward goto (label already passed) stays conservative — the
+// recorded state is simply dropped, as before.
+func (w *walker) branchStmt(s *ast.BranchStmt, st *walkState) bool {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if tgt := w.findTarget(label, false); tgt != nil {
+			tgt.breaks = append(tgt.breaks, st.clone())
+		}
+	case token.CONTINUE:
+		if tgt := w.findTarget(label, true); tgt != nil {
+			tgt.continues = append(tgt.continues, st.clone())
+		}
+	case token.GOTO:
+		if label != "" {
+			w.gotos[label] = append(w.gotos[label], st.clone())
+		}
+	}
+	// fallthrough (in a case body) is handled by caseClauses' merge.
+	return true
+}
+
+// labeledStmt merges any pending forward-goto states into the label,
+// then walks the labeled statement — passing the label down to loops,
+// switches and selects so labeled break/continue resolve to them.
+func (w *walker) labeledStmt(s *ast.LabeledStmt, st *walkState) bool {
+	name := s.Label.Name
+	if pend := w.gotos[name]; len(pend) > 0 {
+		delete(w.gotos, name)
+		out := st
+		for _, g := range pend {
+			out = merge(out, g)
+		}
+		*st = *out
+	}
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		return w.forStmt(inner, st, name)
+	case *ast.RangeStmt:
+		return w.rangeStmt(inner, st, name)
+	case *ast.SwitchStmt:
+		return w.switchStmt(inner, st, name)
+	case *ast.TypeSwitchStmt:
+		return w.typeSwitchStmt(inner, st, name)
+	case *ast.SelectStmt:
+		return w.selectStmt(inner, st, name)
+	default:
+		return w.stmt(s.Stmt, st)
+	}
+}
+
+func (w *walker) forStmt(s *ast.ForStmt, st *walkState, label string) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	if s.Cond != nil {
+		w.expr(s.Cond, st)
+	}
+	// A for without a condition runs its body at least once, and — per
+	// the spec's terminating-statement rule — never falls through
+	// unless something breaks out of it.
+	return w.loopBody(s.Body, s.Post, st, label, s.Cond == nil)
+}
+
+func (w *walker) rangeStmt(s *ast.RangeStmt, st *walkState, label string) bool {
+	w.expr(s.X, st)
+	if isChanExpr(w.info, s.X) {
+		w.chanOp(s.For, "range over channel", st)
+	}
+	return w.loopBody(s.Body, nil, st, label, false)
+}
+
+func (w *walker) switchStmt(s *ast.SwitchStmt, st *walkState, label string) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	if s.Tag != nil {
+		w.expr(s.Tag, st)
+	}
+	return w.caseClauses(s.Body, st, label)
+}
+
+func (w *walker) typeSwitchStmt(s *ast.TypeSwitchStmt, st *walkState, label string) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	w.stmt(s.Assign, st)
+	return w.caseClauses(s.Body, st, label)
+}
+
+func (w *walker) selectStmt(s *ast.SelectStmt, st *walkState, label string) bool {
+	if !selectHasDefault(s) {
+		w.chanOp(s.Select, "select with no default case", st)
+	}
+	return w.commClauses(s.Body, st, label)
 }
 
 // assign evaluates RHS calls and tracks `ok := mu.TryLock()` bindings.
@@ -352,30 +555,85 @@ func (w *walker) condTry(cond ast.Expr, st *walkState) (ci callInfo, negated, is
 // from the merged after-one-iteration state. The second pass is what
 // exposes iteration-carried holds (a Lock in iteration i still held
 // when iteration i+1 acquires) to lockorder; its events are flagged so
-// other analyzers can skip them.
-func (w *walker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *walkState) {
-	first := st.clone()
-	w.block(body, first)
-	if post != nil {
-		w.stmt(post, first)
-	}
-	after := merge(st, first)
+// other analyzers can skip them. Continue states (labeled or not)
+// rejoin before the post statement; break states rejoin the fall-out
+// state. Returns true when the loop is a terminating statement (no
+// condition, no break out of it).
+func (w *walker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *walkState, label string, mustRun bool) bool {
+	tgt := &branchTarget{label: label, loop: true}
+	w.targets = append(w.targets, tgt)
 
-	w.second++
-	again := after.clone()
-	w.block(body, again)
-	if post != nil {
-		w.stmt(post, again)
+	// iterate walks the body once from entry; the returned state is the
+	// union of everything that reaches the loop's iteration point (body
+	// fall-through plus continue states, then the post statement), or
+	// nil when every path out of the body breaks, returns, or jumps —
+	// the loop then never comes back around on its own.
+	iterate := func(entry *walkState) *walkState {
+		s := entry.clone()
+		reaches := !w.block(body, s)
+		conts := tgt.continues
+		tgt.continues = nil
+		for _, c := range conts {
+			if reaches {
+				s = merge(s, c)
+			} else {
+				s = c.clone()
+				reaches = true
+			}
+		}
+		if !reaches {
+			return nil
+		}
+		if post != nil {
+			w.stmt(post, s)
+		}
+		return s
 	}
-	w.second--
 
-	*st = *merge(after, again)
+	first := iterate(st)
+	var after *walkState
+	switch {
+	case first == nil && mustRun:
+		after = nil // only the recorded breaks leave the loop
+	case first == nil:
+		after = st.clone() // zero-trip exit only
+	case mustRun:
+		after = first // no zero-trip path: for {} bodies always run
+	default:
+		after = merge(st, first)
+	}
+
+	if after != nil {
+		w.second++
+		again := iterate(after)
+		w.second--
+		if again != nil {
+			after = merge(after, again)
+		}
+	}
+
+	w.targets = w.targets[:len(w.targets)-1]
+	out := after
+	for _, b := range tgt.breaks {
+		if out == nil {
+			out = b
+		} else {
+			out = merge(out, b)
+		}
+	}
+	if out != nil {
+		*st = *out
+	}
+	return mustRun && len(tgt.breaks) == 0
 }
 
 // caseClauses walks switch cases; the result state is the union of all
 // falling-through branches (plus the no-case-taken path when there is
-// no default).
-func (w *walker) caseClauses(body *ast.BlockStmt, st *walkState) bool {
+// no default, plus any break states).
+func (w *walker) caseClauses(body *ast.BlockStmt, st *walkState, label string) bool {
+	tgt := &branchTarget{label: label}
+	w.targets = append(w.targets, tgt)
+
 	hasDefault := false
 	var fallthroughs []*walkState
 	for _, c := range body.List {
@@ -390,17 +648,12 @@ func (w *walker) caseClauses(body *ast.BlockStmt, st *walkState) bool {
 		for _, e := range cc.List {
 			w.expr(e, cs)
 		}
-		term := false
-		for _, s := range cc.Body {
-			if w.stmt(s, cs) {
-				term = true
-				break
-			}
-		}
-		if !term {
+		if !w.stmtList(cc.Body, cs) {
 			fallthroughs = append(fallthroughs, cs)
 		}
 	}
+	w.targets = w.targets[:len(w.targets)-1]
+	fallthroughs = append(fallthroughs, tgt.breaks...)
 	if !hasDefault {
 		fallthroughs = append(fallthroughs, st.clone())
 	}
@@ -415,7 +668,10 @@ func (w *walker) caseClauses(body *ast.BlockStmt, st *walkState) bool {
 	return false
 }
 
-func (w *walker) commClauses(body *ast.BlockStmt, st *walkState) bool {
+func (w *walker) commClauses(body *ast.BlockStmt, st *walkState, label string) bool {
+	tgt := &branchTarget{label: label}
+	w.targets = append(w.targets, tgt)
+
 	var fallthroughs []*walkState
 	for _, c := range body.List {
 		cc, ok := c.(*ast.CommClause)
@@ -424,19 +680,16 @@ func (w *walker) commClauses(body *ast.BlockStmt, st *walkState) bool {
 		}
 		cs := st.clone()
 		if cc.Comm != nil {
+			w.inComm++
 			w.stmt(cc.Comm, cs)
+			w.inComm--
 		}
-		term := false
-		for _, s := range cc.Body {
-			if w.stmt(s, cs) {
-				term = true
-				break
-			}
-		}
-		if !term {
+		if !w.stmtList(cc.Body, cs) {
 			fallthroughs = append(fallthroughs, cs)
 		}
 	}
+	w.targets = w.targets[:len(w.targets)-1]
+	fallthroughs = append(fallthroughs, tgt.breaks...)
 	if len(fallthroughs) == 0 {
 		return true
 	}
@@ -451,9 +704,15 @@ func (w *walker) commClauses(body *ast.BlockStmt, st *walkState) bool {
 // deferStmt registers deferred releases: a direct `defer mu.Unlock()`,
 // or releases inside a one-level `defer func() { ... }()` literal.
 func (w *walker) deferStmt(s *ast.DeferStmt, st *walkState) {
+	noteRelease := func(ci callInfo) {
+		st.deferred[lockKeyOf(ci.recv, ci.read)] = true
+		if c := classOf(w.info, ci.recv); c != "" {
+			st.deferredCls[c] = true
+		}
+	}
 	ci := classifyCall(w.info, s.Call)
 	if ci.kind == kindRelease {
-		st.deferred[lockKeyOf(ci.recv, ci.read)] = true
+		noteRelease(ci)
 		return
 	}
 	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
@@ -463,7 +722,7 @@ func (w *walker) deferStmt(s *ast.DeferStmt, st *walkState) {
 			}
 			if call, ok := n.(*ast.CallExpr); ok {
 				if inner := classifyCall(w.info, call); inner.kind == kindRelease {
-					st.deferred[lockKeyOf(inner.recv, inner.read)] = true
+					noteRelease(inner)
 				}
 			}
 			return true
@@ -484,8 +743,14 @@ func (w *walker) expr(e ast.Expr, st *walkState) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			walkFunc(w.info, n.Body, w.hooks)
+			w.subWalk(n.Body)
 			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.expr(n.X, st)
+				w.chanOp(n.OpPos, "channel receive", st)
+				return false
+			}
 		case *ast.CallExpr:
 			ci := classifyCall(w.info, n)
 			if ci.kind != kindNone || ci.callee != nil {
@@ -546,7 +811,11 @@ func (w *walker) fire(ci callInfo, st *walkState) {
 		}
 		st.add(heldFromCall(w.info, ci))
 	case kindRelease:
-		st.release(lockKeyOf(ci.recv, ci.read))
+		if !st.releaseKey(lockKeyOf(ci.recv, ci.read)) {
+			// No textual acquire in this function: the release may pair
+			// with a hold injected from an acquire-helper's facts.
+			st.releaseClass(classOf(w.info, ci.recv))
+		}
 	case kindPolicyWait, kindTicketSleep:
 		if w.hooks.onPark != nil {
 			w.hooks.onPark(ci, append([]heldLock(nil), st.held...), second)
@@ -554,6 +823,21 @@ func (w *walker) fire(ci callInfo, st *walkState) {
 	default:
 		if w.hooks.onCall != nil {
 			w.hooks.onCall(ci, append([]heldLock(nil), st.held...), second)
+		}
+		if w.summary != nil && ci.callee != nil {
+			if ff := w.summary(ci.callee); ff != nil {
+				for _, c := range ff.Releases {
+					st.releaseClass(c)
+				}
+				for _, c := range ff.HeldDelta {
+					st.add(heldLock{
+						class:     c,
+						synthetic: true,
+						name:      "call to " + ci.callee.Name(),
+						pos:       ci.call.Pos(),
+					})
+				}
+			}
 		}
 	}
 }
@@ -587,109 +871,6 @@ func isTerminalCall(info *types.Info, e ast.Expr) bool {
 		}
 	}
 	return false
-}
-
-// funcFacts is the one-level call-graph summary nestedpark and lockorder
-// consume: does calling fn (transitively, within its package) reach a
-// parking point, and which lock classes does it blocking-acquire?
-type funcFacts struct {
-	parks    bool
-	parkWhat string          // description of the parking point, for reports
-	classes  map[string]bool // order classes of blocking acquires
-}
-
-// computeFacts builds per-function summaries for one package, closed
-// transitively over same-package calls. Function literals are excluded:
-// a closure's body runs when it is invoked, which the flat scan cannot
-// place.
-func computeFacts(pkg *Package) map[*types.Func]*funcFacts {
-	type rawFact struct {
-		facts   *funcFacts
-		callees map[*types.Func]bool
-	}
-	raw := make(map[*types.Func]*rawFact)
-
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-			if fn == nil {
-				continue
-			}
-			rf := &rawFact{
-				facts:   &funcFacts{classes: map[string]bool{}},
-				callees: map[*types.Func]bool{},
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if _, ok := n.(*ast.FuncLit); ok {
-					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				ci := classifyCall(pkg.Info, call)
-				switch ci.kind {
-				case kindAcqPark:
-					if !rf.facts.parks {
-						rf.facts.parks = true
-						rf.facts.parkWhat = ci.name + " on " + types.ExprString(ci.recv)
-					}
-					if c := classOf(pkg.Info, ci.recv); c != "" {
-						rf.facts.classes[c] = true
-					}
-				case kindAcqNoPark:
-					if c := classOf(pkg.Info, ci.recv); c != "" {
-						rf.facts.classes[c] = true
-					}
-				case kindPolicyWait, kindTicketSleep:
-					if !rf.facts.parks {
-						rf.facts.parks = true
-						rf.facts.parkWhat = "policy wait (" + ci.name + ")"
-					}
-				case kindNone:
-					if ci.callee != nil && ci.callee.Pkg() == pkg.Types {
-						rf.callees[ci.callee] = true
-					}
-				}
-				return true
-			})
-			raw[fn] = rf
-		}
-	}
-
-	// Transitive closure over the same-package call graph.
-	for changed := true; changed; {
-		changed = false
-		for _, rf := range raw {
-			for callee := range rf.callees {
-				crf, ok := raw[callee]
-				if !ok {
-					continue
-				}
-				if crf.facts.parks && !rf.facts.parks {
-					rf.facts.parks = true
-					rf.facts.parkWhat = crf.facts.parkWhat
-					changed = true
-				}
-				for c := range crf.facts.classes {
-					if !rf.facts.classes[c] {
-						rf.facts.classes[c] = true
-						changed = true
-					}
-				}
-			}
-		}
-	}
-
-	out := make(map[*types.Func]*funcFacts, len(raw))
-	for fn, rf := range raw {
-		out[fn] = rf.facts
-	}
-	return out
 }
 
 // forEachFuncDecl walks every function declaration in the package.
