@@ -59,6 +59,17 @@
 //	lcbench -oltp -workload conflict -policy detect
 //	lcbench -oltp -workload conflict -records 96 -parts 1 -escalate -1
 //	lcbench -oltp -swap-at 1s      # one phase, latches flipped spin->lc
+//	lcbench -oltp -durable         # commits group-commit through a WAL
+//
+// The -durable flag (with -oltp) makes every commit run the
+// write-ahead-log group-commit protocol from internal/wal: each phase
+// opens a fresh log in a temp directory (removed afterwards), commits
+// append their write-set and wait — through the phase's contention
+// policy — for their group's fsync, and the phase report adds the
+// commits-per-fsync group-size distribution and fsync latency. This is
+// the durable-vs-volatile sweep behind BENCH_6.json: the contended
+// population shifts from latches to log waiters, and the policies are
+// compared on exactly that population.
 package main
 
 import (
@@ -67,6 +78,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -78,6 +90,7 @@ import (
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/oltp"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -105,6 +118,7 @@ func main() {
 		blameFl     = flag.Bool("blame", false, "print each phase's who-blocks-whom blame leaderboard (sampled waiter/holder acquire sites); works in every mode")
 		obscheck    = flag.Bool("obscheck", false, "measure flight-recorder overhead on the uncontended Lock/Unlock path (enabled vs disabled) and exit 1 if it exceeds -obs-maxpct")
 		obsMaxPct   = flag.Float64("obs-maxpct", 5, "with -obscheck: maximum tolerated overhead in percent")
+		durableFl   = flag.Bool("durable", false, "with -oltp: commit through a write-ahead log (group commit + fsync; a fresh temp log per phase, removed afterwards)")
 		records     = flag.Int("records", 16, "with -workload conflict: records touched per transaction")
 		parts       = flag.Int("parts", 4, "with -workload conflict: partitions the key population spans")
 		spread      = flag.Int("spread", 0, "with -workload conflict: partitions ONE transaction's records span (0: all of -parts; 1 concentrates each transaction — the escalation shape)")
@@ -140,6 +154,7 @@ func main() {
 		runOLTP(oltpConfig{
 			workload:  *workload,
 			policy:    dlPolicy,
+			durable:   *durableFl,
 			escalate:  *escalate,
 			workers:   workers,
 			mp:        *mp,
@@ -156,6 +171,10 @@ func main() {
 			swapTo:    *swapTo,
 		})
 		return
+	}
+	if *durableFl {
+		fmt.Fprintln(os.Stderr, "lcbench: -durable requires -oltp")
+		os.Exit(2)
 	}
 	if *adversarial {
 		runAdversarial(*n, *duration, *noWake)
@@ -608,6 +627,7 @@ func runAdversarial(hotWorkers int, duration time.Duration, noWake bool) {
 type oltpConfig struct {
 	workload  string // tatp | conflict
 	policy    string // waitdie | detect (the DEADLOCK policy)
+	durable   bool   // commit through a WAL (fresh temp log per phase)
 	escalate  int    // escalation threshold (0 default, <0 off)
 	workers   int
 	mp        int
@@ -641,6 +661,11 @@ type oltpResult struct {
 	// measurement window — the cross-check that the histograms agree
 	// with the directly sampled percentiles above.
 	hist obs.HistSummary
+	// wal holds the phase's log stats when -durable is on (group-size
+	// and fsync-latency distributions are whole-phase, warmup included:
+	// the log is private to the phase and batching has no warmup bias
+	// worth a delta snapshot).
+	wal *wal.Stats
 	// Hot-swap scenario only: commit/s in the windows before and
 	// after the SetPolicy flip.
 	preRate, postRate float64
@@ -663,9 +688,13 @@ func runOLTP(cfg oltpConfig) {
 		shape = fmt.Sprintf("%d records/txn over %d partition(s), overlap %.2f, write-frac %.2f",
 			cfg.records, cfg.parts, cfg.overlap, cfg.writeFrac)
 	}
-	fmt.Printf("oltp: %s workload, policy=%s escalation=%s, %d workers, GOMAXPROCS=%d on %d CPU(s) "+
+	durability := "volatile commits"
+	if cfg.durable {
+		durability = "durable commits (WAL group commit)"
+	}
+	fmt.Printf("oltp: %s workload, policy=%s escalation=%s, %s, %d workers, GOMAXPROCS=%d on %d CPU(s) "+
 		"(%dx multiprogramming), %s, %v per phase\n\n",
-		cfg.workload, cfg.policy, escalationLabel(cfg.escalate), cfg.workers,
+		cfg.workload, cfg.policy, escalationLabel(cfg.escalate), durability, cfg.workers,
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.GOMAXPROCS(0)/runtime.NumCPU(),
 		shape, cfg.duration)
 
@@ -704,10 +733,25 @@ func runOLTP(cfg oltpConfig) {
 	}
 
 	fmt.Println("\nsummary:")
-	fmt.Printf("  %-14s %14s %12s %12s %12s %12s\n", "mode", "commit/s", "abort/s", "p50", "p99", "peak-locks")
-	for _, r := range results {
-		fmt.Printf("  %-14s %14.0f %12.1f %12v %12v %12d\n",
-			r.label, r.rate, r.abortsPS, r.p50, r.p99, r.entriesMax)
+	if cfg.durable {
+		fmt.Printf("  %-14s %14s %12s %12s %12s %12s %10s %12s\n",
+			"mode", "commit/s", "abort/s", "p50", "p99", "peak-locks", "grp/fsync", "fsync-p99")
+		for _, r := range results {
+			var grp float64
+			var fp99 time.Duration
+			if w := r.wal; w != nil && w.Syncs > 0 {
+				grp = float64(w.Appends) / float64(w.Syncs)
+				fp99 = time.Duration(w.SyncLatency.P99Ns).Round(time.Microsecond)
+			}
+			fmt.Printf("  %-14s %14.0f %12.1f %12v %12v %12d %10.1f %12v\n",
+				r.label, r.rate, r.abortsPS, r.p50, r.p99, r.entriesMax, grp, fp99)
+		}
+	} else {
+		fmt.Printf("  %-14s %14s %12s %12s %12s %12s\n", "mode", "commit/s", "abort/s", "p50", "p99", "peak-locks")
+		for _, r := range results {
+			fmt.Printf("  %-14s %14.0f %12.1f %12v %12v %12d\n",
+				r.label, r.rate, r.abortsPS, r.p50, r.p99, r.entriesMax)
+		}
 	}
 	spin, lc := results[0], results[2]
 	if spin.rate > 0 {
@@ -764,6 +808,26 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 	// not give-up thresholds.
 	dbOpts := oltp.Options{MaxRetries: -1, DeadlockPolicy: pol, EscalationThreshold: cfg.escalate, Runtime: rt}
 	store := kv.New(kvOpts)
+	// Durable phases commit through a fresh WAL on the phase's own
+	// runtime and policy: the durability waits are governed by the same
+	// ContentionPolicy under test as the latches, which is the point of
+	// the sweep. The log lives in a temp dir discarded with the phase —
+	// lcbench measures, it does not persist.
+	var phaseLog *wal.Log
+	if cfg.durable {
+		walDir, err := os.MkdirTemp("", "lcbench-wal-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench:", err)
+			os.Exit(2)
+		}
+		defer os.RemoveAll(walDir)
+		phaseLog, _, err = wal.Open(wal.Options{Dir: filepath.Join(walDir, "wal"), Runtime: rt, Policy: cpol}, store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench: wal:", err)
+			os.Exit(2)
+		}
+		dbOpts.WAL = phaseLog
+	}
 	db := oltp.New(store, dbOpts)
 	var runTxn func(rng *rand.Rand) error
 	if cfg.workload == "conflict" {
@@ -902,6 +966,15 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 	}
 	snap := rt.Snapshot()
 	res.snap = &snap
+	if phaseLog != nil {
+		// Close before the runtime stops: the final drain's group
+		// commit still parks/wakes through the phase's live runtime.
+		ws := phaseLog.Stats()
+		res.wal = &ws
+		if err := phaseLog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lcbench: wal close:", err)
+		}
+	}
 	tracePhase("oltp/"+label, rt)
 	rt.Stop()
 	// Quiescent check: with every worker stopped, strict 2PL demands an
@@ -916,6 +989,20 @@ func runOLTPPhase(polName, label string, cfg oltpConfig) oltpResult {
 		label, res.rate, res.p50, res.p99,
 		m1.WaitDieAborts, m1.DetectedAborts, m1.TimeoutAborts, m1.Retries, m1.Escalations,
 		m1.LockWaits, m1.LatchMisses, res.entriesMax, res.entriesAvg)
+	if w := res.wal; w != nil {
+		var grp float64
+		if w.Syncs > 0 {
+			grp = float64(w.Appends) / float64(w.Syncs)
+		}
+		// GroupSize's *Ns fields are counts, not nanoseconds — the
+		// histogram is unit-agnostic and here it buckets commits/fsync.
+		fmt.Printf("phase %-14s wal: appends=%d syncs=%d group[mean=%.1f p50=%d p99=%d] "+
+			"fsync[p50=%v p99=%v] bytes=%d rotations=%d\n",
+			label, w.Appends, w.Syncs, grp, w.GroupSize.P50Ns, w.GroupSize.P99Ns,
+			time.Duration(w.SyncLatency.P50Ns).Round(time.Microsecond),
+			time.Duration(w.SyncLatency.P99Ns).Round(time.Microsecond),
+			w.BytesWritten, w.Rotations)
+	}
 	// The flight recorder's own view of the same window, from the
 	// commit-latency histogram: within a power-of-two bucket of the
 	// sampled p50/p99 above (that is the histogram's resolution).

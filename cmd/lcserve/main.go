@@ -38,6 +38,20 @@
 // load-controlled waiting as multiprogramming climbs, without a
 // restart.
 //
+// With -durable the service opens a write-ahead log (internal/wal) in
+// -waldir before serving: recovery replays the checkpoint and redo
+// tail into the store (torn tails truncated), every /txn commit then
+// group-commits through the log before it is acknowledged, and a
+// clean shutdown (SIGINT/SIGTERM) checkpoints so the next start
+// replays a short tail. A kill -9 is recovered, not prevented. Note
+// the durability boundary: /txn commits are logged; bare /kv PUTs
+// write the store directly and stay volatile. POST /policy flips the
+// log's durability-wait policy together with every latch, and /stats
+// ("wal" section) plus /metrics (wal_* families, including the
+// commits-per-fsync group-size histogram) expose the log.
+//
+//	lcserve -durable -waldir ./wal
+//
 // The /txn endpoint executes a multi-operation transaction through the
 // internal/oltp layer (strict 2PL on the hierarchical lock manager,
 // wait-die retries included):
@@ -62,6 +76,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -72,11 +87,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/golc"
@@ -84,6 +101,7 @@ import (
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
 	"repro/internal/oltp"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -109,6 +127,9 @@ func main() {
 		mTop     = flag.Int("metrics-top", 8, "per-lock /metrics series cutoff: export only the N most contended locks (golc_metrics_locks_dropped counts the rest)")
 		histIv   = flag.Duration("history-interval", time.Second, "/stats/history snapshot cadence")
 		histKeep = flag.Duration("history-retention", 5*time.Minute, "/stats/history retention window")
+		durable  = flag.Bool("durable", false, "write-ahead log durability: recover the store from -waldir on start, group-commit every /txn through it, checkpoint on clean shutdown")
+		walDir   = flag.String("waldir", "wal", "with -durable: the log directory (segments + checkpoint)")
+		walSeg   = flag.Int64("wal-segment-bytes", 0, "with -durable: segment rotation threshold in bytes (0: 4MiB)")
 	)
 	flag.Parse()
 
@@ -165,9 +186,32 @@ func main() {
 		os.Exit(2)
 	}
 	store := kv.New(kv.Options{Shards: *shards, IndexStripes: *stripes, Policy: lockPolicy})
-	db := oltp.New(store, oltp.Options{MaxRetries: oltp.DefaultMaxRetries, DeadlockPolicy: policy})
-	fmt.Printf("lcserve: serving %d-shard kv (%s latches, %s deadlock policy) on %s\n",
-		store.Shards(), store.Policy().Name(), db.PolicyName(), *addr)
+	// Durability: the WAL must open against the store while it is still
+	// empty — recovery seeds it from the checkpoint and replays the redo
+	// tail — and before the DB exists, so every /txn commit from the
+	// first request on runs the group-commit protocol.
+	var walLog *wal.Log
+	if *durable {
+		var rs wal.RecoveryStats
+		walLog, rs, err = wal.Open(wal.Options{
+			Dir: *walDir, SegmentBytes: *walSeg, Policy: lockPolicy,
+		}, store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcserve: wal:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("lcserve: wal recovery: checkpoint lsn=%d (%d keys), %d segment(s) scanned, "+
+			"%d record(s)/%d write(s) replayed, %d torn byte(s) truncated, %d segment(s) dropped, max lsn=%d\n",
+			rs.CheckpointLSN, rs.CheckpointKeys, rs.SegmentsScanned,
+			rs.RecordsReplayed, rs.WritesReplayed, rs.TornBytes, rs.DroppedSegments, rs.MaxLSN)
+	}
+	db := oltp.New(store, oltp.Options{MaxRetries: oltp.DefaultMaxRetries, DeadlockPolicy: policy, WAL: walLog})
+	durability := "volatile"
+	if walLog != nil {
+		durability = "durable, wal at " + *walDir
+	}
+	fmt.Printf("lcserve: serving %d-shard kv (%s latches, %s deadlock policy, %s) on %s\n",
+		store.Shards(), store.Policy().Name(), db.PolicyName(), durability, *addr)
 	// Serve mode registers every latch with the process-wide runtime
 	// (kv.Options.Runtime nil), so that is the runtime the handler's
 	// stats/metrics/trace endpoints observe. The sampling flags take
@@ -184,10 +228,37 @@ func main() {
 		withPprof:  *pprofFl,
 		metricsTop: *mTop,
 		history:    hist,
+		wal:        walLog,
 	})
-	if err := http.ListenAndServe(*addr, h); err != nil {
+	// Clean shutdown matters once there is a log: stop accepting
+	// requests, checkpoint (so the next start replays a short tail),
+	// and close the log through one final group commit. A kill -9 is
+	// also fine — that is what recovery is for — it just replays more.
+	srv := &http.Server{Addr: *addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("lcserve: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		if walLog != nil {
+			if lsn, err := walLog.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "lcserve: wal checkpoint:", err)
+			} else {
+				fmt.Printf("lcserve: wal checkpoint at lsn %d\n", lsn)
+			}
+			if err := walLog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lcserve: wal close:", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 
@@ -306,6 +377,10 @@ type handlerConfig struct {
 	// it nil (they live for seconds); the endpoint then serves an empty
 	// series rather than 404ing, so pollers need no special case.
 	history *lcrt.History
+	// wal, when non-nil, adds the durability surface: a "wal" section
+	// in /stats, wal_* families in /metrics, and POST /policy flips the
+	// log's durability-wait policy along with every latch.
+	wal *wal.Log
 }
 
 func (c handlerConfig) topN() int {
@@ -409,6 +484,12 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, cfg handlerConfi
 			}
 			store.SetPolicy(p)
 			db.SetLatchPolicy(p)
+			if cfg.wal != nil {
+				// The durability-wait seam swaps with the latches: the
+				// fsync convoy is load-controlled (or not) by the same
+				// operator action.
+				cfg.wal.SetPolicy(p)
+			}
 			fmt.Fprintf(w, "%s\n", p.Name())
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -434,14 +515,22 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, cfg handlerConfi
 		if err != nil {
 			blameTop = []byte("null")
 		}
+		// "wal" is null for a volatile server, so pollers distinguish
+		// "no durability" from "durable but idle" without a probe.
+		walStats := []byte("null")
+		if cfg.wal != nil {
+			if b, err := json.Marshal(cfg.wal.Stats()); err == nil {
+				walStats = b
+			}
+		}
 		fmt.Fprintf(w, `{"shards":%d,"keys":%d,"latch_policy":%q,"policy":%q,"lock_entries":%d,`+
 			`"sampling":{"hold":%d,"event":%d,"blame":%d},"blame_dropped":%d,"blame_top":%s,`+
-			`"latches":%s,"oltp":%s,"hists":%s,"top_locks":%s,"runtime":%s}`+"\n",
+			`"latches":%s,"oltp":%s,"wal":%s,"hists":%s,"top_locks":%s,"runtime":%s}`+"\n",
 			store.Shards(), store.Len(), store.Policy().Name(), db.PolicyName(),
 			db.LockEntries(),
 			rec.HoldSampling(), rec.EventSampling(), rec.BlameSampling(),
 			rec.BlameDropped(), blameTop,
-			latches, oltpStats, hists,
+			latches, oltpStats, walStats, hists,
 			topLocksJSON(snap), snapshotJSON(snap))
 	})
 	// Blame time series: the bounded ring of periodic snapshots — the
@@ -495,7 +584,7 @@ func newHandler(store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, cfg handlerConfi
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := writeProm(w, store, db, rt, cfg.topN()); err != nil {
+		if err := writeProm(w, store, db, cfg.wal, rt, cfg.topN()); err != nil {
 			// Headers are gone by now; all we can do is not pretend the
 			// scrape succeeded.
 			fmt.Fprintln(os.Stderr, "lcserve: /metrics:", err)
@@ -599,10 +688,12 @@ func snapshotJSON(snap lcrt.Snapshot) string {
 // writeProm renders the whole observability surface in Prometheus text
 // exposition format 0.0.4: runtime counters and gauges, the global
 // wait/hold/park latency histograms, per-lock histograms for the
-// topN most contended locks, and the oltp transaction counters plus
-// its commit-latency and logical-lock-wait histograms. Buckets are
-// log-scaled powers of two in seconds (see internal/golc/obs).
-func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, topN int) error {
+// topN most contended locks, the oltp transaction counters plus
+// its commit-latency and logical-lock-wait histograms, and — when the
+// server is durable — the wal_* families. Buckets are log-scaled
+// powers of two in seconds (see internal/golc/obs), except
+// wal_group_commits whose unit is commits per fsync.
+func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, walLog *wal.Log, rt *lcrt.Runtime, topN int) error {
 	pw := obs.NewPromWriter(w)
 	snap := rt.Snapshot()
 
@@ -671,6 +762,28 @@ func writeProm(w io.Writer, store *kv.Store, db *oltp.DB, rt *lcrt.Runtime, topN
 	pw.Histogram("oltp_lock_wait_seconds", "Blocked logical lock acquisition wait time.", nil, db.LockWaitHist())
 
 	pw.Gauge("kv_keys", "Keys stored.", nil, float64(store.Len()))
+
+	if walLog != nil {
+		ws := walLog.Stats()
+		pw.Counter("wal_appends_total", "Redo records staged on the log tail.", nil, ws.Appends)
+		pw.Counter("wal_syncs_total", "Commit groups fsynced.", nil, ws.Syncs)
+		pw.Counter("wal_bytes_written_total", "Bytes written to segment files.", nil, ws.BytesWritten)
+		pw.Counter("wal_rotations_total", "Segment rotations.", nil, ws.Rotations)
+		pw.Counter("wal_checkpoints_total", "Checkpoints written.", nil, ws.Checkpoints)
+		pw.Gauge("wal_segments", "Live segment files.", nil, float64(ws.Segments))
+		pw.Gauge("wal_durable_lsn", "Last LSN known fsynced.", nil, float64(ws.DurableLSN))
+		pw.Gauge("wal_applied_lsn", "Applied floor: every record at or below it is in the store.", nil, float64(ws.AppliedLSN))
+		wedged := 0.0
+		if ws.Wedged != "" {
+			wedged = 1
+		}
+		pw.Gauge("wal_wedged", "1 when a sticky I/O error has disabled the log.", nil, wedged)
+		// Group size is a count-per-fsync distribution, not a latency:
+		// RawHistogram skips the seconds conversion, so the le labels
+		// read directly as commits per group.
+		pw.RawHistogram("wal_group_commits", "Commits batched per fsync (unit: commits, not seconds).", nil, walLog.GroupSizeHist())
+		pw.Histogram("wal_sync_seconds", "Group-commit write+fsync latency.", nil, walLog.SyncHist())
+	}
 	return pw.Err()
 }
 

@@ -34,7 +34,27 @@ type statsDoc struct {
 	LatchPolicy string                           `json:"latch_policy"`
 	Sampling    struct{ Hold, Event, Blame int } `json:"sampling"`
 	BlameTop    []blameEntry                     `json:"blame_top"`
+	Wal         *walSnap                         `json:"wal"` // null on a volatile server
 	Runtime     runtimeSnap                      `json:"runtime"`
+}
+
+// walSnap is the slice of lcserve's "wal" stats section the census line
+// needs; a nil pointer means the server runs without durability.
+type walSnap struct {
+	Appends    uint64   `json:"appends"`
+	Syncs      uint64   `json:"syncs"`
+	Segments   int      `json:"segments"`
+	DurableLSN uint64   `json:"durable_lsn"`
+	AppliedLSN uint64   `json:"applied_lsn"`
+	Wedged     string   `json:"wedged"`
+	GroupSize  histSumm `json:"group_size"`
+	SyncNs     histSumm `json:"sync_ns"`
+}
+
+type histSumm struct {
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
 }
 
 type blameEntry struct {
@@ -155,10 +175,24 @@ func render(client *http.Client, base string, topLocks, topBlame int) (string, e
 	rt := stats.Runtime
 	fmt.Fprintf(&b, "lctop — %s  |  %s  |  %d shards, %d keys, %s latches\n",
 		base, time.Now().Format("15:04:05"), stats.Shards, stats.Keys, stats.LatchPolicy)
-	fmt.Fprintf(&b, "runtime: target=%d spinners=%d sleeping=%d locks=%d  wakes[ctl=%d unlock=%d timeout=%d]  sampling[hold=1/%d event=1/%d blame=1/%d]\n\n",
+	fmt.Fprintf(&b, "runtime: target=%d spinners=%d sleeping=%d locks=%d  wakes[ctl=%d unlock=%d timeout=%d]  sampling[hold=1/%d event=1/%d blame=1/%d]\n",
 		rt.Target, rt.Spinners, rt.Sleeping, rt.LocksRegistered,
 		rt.ControllerWakes, rt.UnlockWakes, rt.TimeoutWakes,
 		stats.Sampling.Hold, stats.Sampling.Event, stats.Sampling.Blame)
+	if w := stats.Wal; w != nil {
+		// Group size (commits per fsync) is the batching story in one
+		// number: mean ~1 means every commit pays its own fsync, large
+		// means the convoy is amortizing.
+		wedge := ""
+		if w.Wedged != "" {
+			wedge = "  WEDGED: " + w.Wedged
+		}
+		fmt.Fprintf(&b, "wal: durable=%d applied=%d segs=%d appends=%d syncs=%d  group[mean=%.1f p99=%d]  fsync[p50=%s p99=%s]%s\n",
+			w.DurableLSN, w.AppliedLSN, w.Segments, w.Appends, w.Syncs,
+			float64(w.GroupSize.MeanNs), w.GroupSize.P99Ns,
+			fmtNs(w.SyncNs.P50Ns), fmtNs(w.SyncNs.P99Ns), wedge)
+	}
+	fmt.Fprintln(&b)
 
 	renderLocks(&b, hist.Records, topLocks)
 	renderBlame(&b, stats.BlameTop, topBlame)

@@ -105,6 +105,28 @@ func (p *PromWriter) Histogram(name, help string, labels []Label, s HistSnapshot
 	p.printf("%s_count%s %d\n", name, labelString(labels), s.Count)
 }
 
+// RawHistogram is Histogram without the nanoseconds→seconds
+// conversion: bucket bounds and the sum are emitted in the snapshot's
+// own unit. For histograms that count things rather than time them —
+// e.g. the WAL's commits-per-fsync group sizes — where dividing by 1e9
+// would be nonsense.
+func (p *PromWriter) RawHistogram(name, help string, labels []Label, s HistSnapshot) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for i := 0; i < NumBuckets-1; i++ {
+		c := s.Buckets[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := formatFloat(float64(BucketUpper(i)))
+		p.printf("%s_bucket%s %d\n", name, labelString(labels, Label{"le", le}), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, labelString(labels, Label{"le", "+Inf"}), s.Count)
+	p.printf("%s_sum%s %s\n", name, labelString(labels), formatFloat(float64(s.Sum)))
+	p.printf("%s_count%s %d\n", name, labelString(labels), s.Count)
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -25,6 +25,10 @@ const (
 	EvDeadlockVictim // the detector picked this transaction out of a cycle
 	EvEscalation     // record locks folded into a partition lock (Name: partition)
 
+	// WAL durability events.
+	EvWalAppend // a redo record was staged on the log tail (Name: log, Arg: bytes)
+	EvWalSync   // one group commit fsync (Name: log, Arg: group size, Dur: sync latency)
+
 	numEventTypes
 )
 
@@ -39,6 +43,8 @@ var eventNames = [numEventTypes]string{
 	EvTxnAbort:       "txn-abort",
 	EvDeadlockVictim: "deadlock-victim",
 	EvEscalation:     "escalation",
+	EvWalAppend:      "wal-append",
+	EvWalSync:        "wal-sync",
 }
 
 func (t EventType) String() string {

@@ -21,6 +21,10 @@ func isOltpPkgPath(path string) bool {
 	return path == "repro/internal/oltp" || strings.HasSuffix(path, "/internal/oltp")
 }
 
+func isWalPkgPath(path string) bool {
+	return path == "repro/internal/wal" || strings.HasSuffix(path, "/internal/wal")
+}
+
 // callKind classifies one call expression by what it means to the lock
 // protocol.
 type callKind int

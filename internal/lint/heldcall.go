@@ -17,8 +17,10 @@ import (
 // golc lock is held: channel operations (send, receive, blocking
 // select, range over channel), time.Sleep, fmt printing (Print*,
 // Fprint* — Sprintf is fine), file/network/exec I/O, sync.WaitGroup/
-// Cond waits, and calls whose whole-program facts say they transitively
-// do any of the above. Callees that park are nestedpark's finding, not
+// Cond waits, the WAL's commit-path APIs (wal.Log Append/Commit/
+// WaitDurable/Sync/Checkpoint/Close — log I/O behind a latch convoys
+// the latch behind the disk), and calls whose whole-program facts say
+// they transitively do any of the above. Callees that park are nestedpark's finding, not
 // heldcall's — the two do not double-report.
 var Heldcall = &Analyzer{
 	Name: "heldcall",
@@ -180,6 +182,16 @@ func blockingCall(info *types.Info, ci callInfo) (string, bool) {
 	case "sync":
 		if (recv == "WaitGroup" || recv == "Cond") && name == "Wait" {
 			return label, true
+		}
+	default:
+		// The WAL's commit-path APIs block on group-commit fsyncs (or,
+		// for Append, take the log's own tail latch): log I/O inside a
+		// golc critical section convoys the latch behind the disk.
+		if isWalPkgPath(pkg) && recv == "Log" {
+			switch name {
+			case "Append", "Commit", "WaitDurable", "Sync", "Checkpoint", "Close":
+				return label, true
+			}
 		}
 	}
 	return "", false

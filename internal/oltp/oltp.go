@@ -71,6 +71,7 @@ import (
 	"repro/internal/golc/obs"
 	lcrt "repro/internal/golc/runtime"
 	"repro/internal/kv"
+	"repro/internal/wal"
 )
 
 // ErrAborted matches any transaction abort via errors.Is; the concrete
@@ -175,6 +176,13 @@ type Options struct {
 	// there escalates to a single partition-level lock (zero value:
 	// DefaultEscalationThreshold; <0 disables escalation).
 	EscalationThreshold int
+	// WAL, when non-nil, makes commits durable: Txn.Commit appends the
+	// buffered write-set to the log as one redo record and returns
+	// only after its commit group is fsynced (group commit — see
+	// internal/wal). The log must have been Opened against this DB's
+	// store, so recovery replays into the same data. nil keeps the
+	// seed's volatile behavior.
+	WAL *wal.Log
 }
 
 func (o Options) withDefaults() Options {
@@ -244,6 +252,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 type DB struct {
 	store *kv.Store
 	lm    *lockManager
+	wal   *wal.Log // nil: volatile commits
 	opts  Options
 	tids  atomic.Uint64
 	m     Metrics
@@ -268,6 +277,7 @@ func New(store *kv.Store, opts Options) *DB {
 	o := opts.withDefaults()
 	db := &DB{
 		store:     store,
+		wal:       o.WAL,
 		opts:      o,
 		rec:       latchRuntime(o).Recorder(),
 		commitLat: obs.NewHistogram(8),
@@ -304,6 +314,10 @@ func (db *DB) LatchPolicyName() string {
 
 // Store returns the underlying kv store.
 func (db *DB) Store() *kv.Store { return db.store }
+
+// WAL returns the write-ahead log commits are made durable through,
+// or nil for a volatile DB.
+func (db *DB) WAL() *wal.Log { return db.wal }
 
 // Metrics returns a point-in-time copy of the DB's counters.
 func (db *DB) Metrics() MetricsSnapshot { return db.m.snapshot() }

@@ -311,7 +311,25 @@ func (t *Txn) Commit() error {
 		for _, w := range t.writes {
 			batch = append(batch, w)
 		}
-		t.db.store.ApplyBatch(batch)
+		if w := t.db.wal; w != nil {
+			// Write-ahead: the record must be durable before the batch
+			// touches the store. Commit returns once this record's
+			// group is fsynced; on any log error nothing was applied,
+			// so the transaction aborts cleanly — a durability failure
+			// is terminal, not a retry signal (no AbortError).
+			lsn, err := w.Commit(batch)
+			if err != nil {
+				t.Abort()
+				return fmt.Errorf("oltp: commit not durable: %w", err)
+			}
+			t.db.store.ApplyBatch(batch)
+			// Locks are still held, so the applied floor (the next
+			// checkpoint's cut) advances only over fully visible
+			// commits.
+			w.NoteApplied(lsn)
+		} else {
+			t.db.store.ApplyBatch(batch)
+		}
 	}
 	t.db.lm.releaseAll(t)
 	t.state = txnCommitted
